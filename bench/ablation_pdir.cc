@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation of the L2's partial directory interpretation (paper §2.3):
+ * the L2 caches whether a home-local line has remote copies so the
+ * common all-local case grants exclusivity without re-reading the
+ * in-memory directory or touching the protocol engines. Disabling
+ * the shortcut forces a directory read (and, with remote sharers, an
+ * engine trip) on every local exclusive-permission request.
+ */
+
+#include "bench_util.h"
+
+using namespace piranha;
+
+int
+main()
+{
+    std::cout << "=== Ablation: L2 partial directory info (§2.3) ===\n\n";
+
+    TextTable t({"Config", "pdir shortcut", "exec time (ms)",
+                 "engine trips", "shortcut grants"});
+    for (unsigned nodes : {1u, 2u}) {
+        for (bool shortcut : {true, false}) {
+            SystemConfig cfg = configP8(nodes);
+            cfg.chip.l2.pdirShortcut = shortcut;
+            OltpWorkload wl;
+            PiranhaSystem sys(cfg);
+            RunResult r = sys.run(wl, 150);
+            double trips = 0, grants = 0;
+            for (unsigned n = 0; n < nodes; ++n) {
+                for (unsigned b = 0; b < 8; ++b) {
+                    trips += sys.chip(n).l2(b).statEngineTrips.value();
+                    grants +=
+                        sys.chip(n).l2(b).statPdirShortcut.value();
+                }
+            }
+            t.addRow({strFormat("P8x%u/OLTP", nodes),
+                      shortcut ? "on" : "off",
+                      TextTable::fmt(ms(r.execTime), 3),
+                      TextTable::fmt(trips, 0),
+                      TextTable::fmt(grants, 0)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\npaper: the partial info avoids protocol-engine "
+                 "communication for the\nmajority of local requests "
+                 "and often avoids the directory fetch entirely.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the paper-figure reproduction benches: run a
+ * configuration under a workload and print paper-style rows next to
+ * the published values.
+ */
+
+#ifndef PIRANHA_BENCH_BENCH_UTIL_H
+#define PIRANHA_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/piranha.h"
+#include "stats/stats.h"
+
+namespace piranha {
+
+/** Total OLTP transactions per single-chip run (the paper measured
+ *  500 after warm-up; we run more and let cold-start amortize). */
+inline constexpr std::uint64_t kOltpTotalTxns = 1600;
+/** Total DSS scan chunks per single-chip run. */
+inline constexpr std::uint64_t kDssTotalChunks = 64;
+
+/** Run @p cfg under @p wl with a fixed total amount of work. */
+inline RunResult
+runFixedWork(const SystemConfig &cfg, Workload &wl,
+             std::uint64_t total_work)
+{
+    PiranhaSystem sys(cfg);
+    std::uint64_t per_cpu =
+        std::max<std::uint64_t>(1, total_work / sys.totalCpus());
+    return sys.run(wl, per_cpu);
+}
+
+inline double
+ms(Tick t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Print a normalized-execution-time breakdown table (Fig. 5 style). */
+inline void
+printBreakdownTable(const std::vector<RunResult> &rows,
+                    const RunResult &baseline)
+{
+    TextTable t({"Config", "NormTime", "CPU busy", "L2 hit stall",
+                 "L2 miss stall", "Other/idle"});
+    for (const RunResult &r : rows) {
+        double norm = static_cast<double>(r.execTime) /
+                      static_cast<double>(baseline.execTime);
+        t.addRow({r.config, TextTable::fmt(norm, 2),
+                  TextTable::fmt(100 * r.busyFrac, 1) + "%",
+                  TextTable::fmt(100 * r.l2HitStallFrac, 1) + "%",
+                  TextTable::fmt(100 * r.l2MissStallFrac, 1) + "%",
+                  TextTable::fmt(100 * r.idleFrac, 1) + "%"});
+    }
+    t.print(std::cout);
+}
+
+/** Print the L1-miss service breakdown (Fig. 6b categories). */
+inline void
+printMissBreakdown(const RunResult &r)
+{
+    double tot = r.misses.total();
+    if (tot <= 0)
+        return;
+    std::printf("  %-4s L1-miss service: L2 %.0f%%  fwd %.0f%%  "
+                "mem %.0f%% (remote %.0f%%)\n",
+                r.config.c_str(), 100 * r.misses.l2Hit / tot,
+                100 * r.misses.l2Fwd / tot,
+                100 *
+                    (r.misses.memLocal + r.misses.memRemote +
+                     r.misses.remoteDirty) /
+                    tot,
+                100 * (r.misses.memRemote + r.misses.remoteDirty) /
+                    tot);
+}
+
+} // namespace piranha
+
+#endif // PIRANHA_BENCH_BENCH_UTIL_H

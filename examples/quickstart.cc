@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: build a single-chip Piranha system (the paper's P8
+ * prototype configuration), run the OLTP workload, and print the
+ * execution-time breakdown and L1-miss service mix — the minimal
+ * end-to-end use of the public API.
+ */
+
+#include <cstdio>
+
+#include "core/piranha.h"
+
+int
+main()
+{
+    using namespace piranha;
+
+    // The 8-CPU Piranha prototype (Table 1, P8 column).
+    SystemConfig cfg = configP8();
+    PiranhaSystem sys(cfg);
+
+    // TPC-B-like OLTP: 8 server processes per CPU, 40 branches.
+    OltpWorkload oltp;
+
+    // Run 100 transactions on each of the 8 CPUs.
+    RunResult r = sys.run(oltp, 100);
+
+    std::printf("config     : %s\n", r.config.c_str());
+    std::printf("workload   : %s\n", r.workload.c_str());
+    std::printf("transactions: %llu\n",
+                static_cast<unsigned long long>(r.work));
+    std::printf("exec time  : %.3f ms (%.0f txn/s)\n",
+                static_cast<double>(r.execTime) * 1e-9,
+                r.throughput());
+    std::printf("breakdown  : busy %.1f%%  L2-hit stall %.1f%%  "
+                "L2-miss stall %.1f%%\n",
+                100 * r.busyFrac, 100 * r.l2HitStallFrac,
+                100 * r.l2MissStallFrac);
+    double tot = r.misses.total();
+    if (tot > 0) {
+        std::printf("L1 misses  : L2 %.0f%%  peer-L1 %.0f%%  "
+                    "memory %.0f%%\n",
+                    100 * r.misses.l2Hit / tot,
+                    100 * r.misses.l2Fwd / tot,
+                    100 *
+                        (r.misses.memLocal + r.misses.memRemote +
+                         r.misses.remoteDirty) /
+                        tot);
+    }
+    std::printf("RDRAM open-page hit rate: %.1f%%\n",
+                100 * r.rdramPageHitRate);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Design-space exploration example: sweep the number of on-chip CPUs
+ * and the number of chips, for both workloads, printing throughput —
+ * the kind of study §4 alludes to ("a relatively wide design space if
+ * one considers increasingly complex CPUs in a chip-multiprocessing
+ * system").
+ */
+
+#include <iostream>
+
+#include "core/piranha.h"
+#include "stats/stats.h"
+
+int
+main()
+{
+    using namespace piranha;
+
+    std::cout << "Piranha design-space sweep (throughput, work/s)\n\n";
+
+    TextTable t({"Workload", "Chips", "CPUs/chip", "Throughput",
+                 "Busy", "Miss stall"});
+    for (int w = 0; w < 2; ++w) {
+        for (unsigned chips : {1u, 2u}) {
+            for (unsigned cpus : {1u, 2u, 4u, 8u}) {
+                std::unique_ptr<Workload> wl;
+                std::uint64_t work;
+                if (w == 0) {
+                    wl = std::make_unique<OltpWorkload>();
+                    work = 120;
+                } else {
+                    wl = std::make_unique<DssWorkload>();
+                    work = 8;
+                }
+                PiranhaSystem sys(configPn(cpus, chips));
+                RunResult r = sys.run(*wl, work);
+                t.addRow({r.workload, strFormat("%u", chips),
+                          strFormat("%u", cpus),
+                          TextTable::fmt(r.throughput(), 0),
+                          TextTable::fmt(100 * r.busyFrac, 1) + "%",
+                          TextTable::fmt(100 * r.l2MissStallFrac, 1) +
+                              "%"});
+            }
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,478 @@
+#include "cache/l1_cache.h"
+
+#include <algorithm>
+
+namespace piranha {
+
+L1Cache::L1Cache(EventQueue &eq, std::string name, const L1Params &params,
+                 const Clock &clk, IntraChipSwitch &ics, int my_port,
+                 int l1_id, std::function<int(Addr)> bank_port)
+    : SimObject(eq, std::move(name)), _p(params), _clk(clk), _ics(ics),
+      _myPort(my_port), _l1Id(l1_id), _bankPort(std::move(bank_port)),
+      _tags(params.sizeBytes, params.assoc, ReplPolicy::Lru),
+      _stats(this->name())
+{
+}
+
+void
+L1Cache::regStats(StatGroup &parent)
+{
+    _stats.addScalar("hits", &statHits, "L1 hits (incl. store buffer)");
+    _stats.addScalar("misses", &statMisses, "L1 misses sent to L2");
+    _stats.addScalar("sb_forwards", &statSbForwards,
+                     "loads satisfied by the store buffer");
+    _stats.addScalar("invals", &statInvalsReceived,
+                     "invalidations received");
+    _stats.addScalar("fwds_serviced", &statFwdsServiced,
+                     "peer fills supplied as on-chip owner");
+    _stats.addScalar("writebacks", &statWritebacks,
+                     "victim write-backs to L2");
+    _stats.addScalar("upgrades", &statUpgrades, "S->M upgrades");
+    parent.addChild(&_stats);
+}
+
+L1State
+L1Cache::lineState(Addr addr) const
+{
+    const L1Line *l = _tags.find(addr);
+    return l ? l->state : L1State::I;
+}
+
+void
+L1Cache::respond(MemRspFn &rsp, std::uint64_t value, FillSource src,
+                 unsigned extra_cycles)
+{
+    if (!rsp)
+        return;
+    MemRsp r{value, src};
+    scheduleIn(_clk.cycles(_p.hitCycles + extra_cycles),
+               [rsp = std::move(rsp), r] { rsp(r); });
+}
+
+void
+L1Cache::access(const MemReq &req, MemRspFn rsp)
+{
+    if (_p.isInstr && req.op != MemOp::Ifetch)
+        panic("%s: non-ifetch op to instruction cache", name().c_str());
+    if (!_p.isInstr && req.op == MemOp::Ifetch)
+        panic("%s: ifetch op to data cache", name().c_str());
+    _cpuQueue.push_back(PendingCpu{req, std::move(rsp)});
+    tryStart();
+}
+
+void
+L1Cache::tryStart()
+{
+    while (!_cpuQueue.empty()) {
+        PendingCpu &pc = _cpuQueue.front();
+        const MemReq &req = pc.req;
+
+        if (req.op == MemOp::Store && req.atomic) {
+            // Store-conditional: bypass the store buffer; complete
+            // only when the line is modifiable and the data applied
+            // (globally ordered).
+            L1Line *l = _tags.find(req.addr);
+            if (l && (l->state == L1State::M ||
+                      l->state == L1State::E)) {
+                applyStore(*l, SbEntry{req.addr, req.size, req.value});
+                ++statHits;
+                respond(pc.rsp, 0, FillSource::L1);
+                _cpuQueue.pop_front();
+                continue;
+            }
+            if (_mshr.valid)
+                return;
+            issueMiss(req, std::move(pc.rsp),
+                      l && l->state == L1State::S);
+            _cpuQueue.pop_front();
+            continue;
+        }
+
+        if (req.op == MemOp::Store) {
+            if (_sb.size() >= _p.storeBufferDepth)
+                return; // wait for drain to free a slot
+            _sb.push_back(SbEntry{req.addr, req.size, req.value});
+            ++statHits;
+            respond(pc.rsp, 0, FillSource::StoreBuffer);
+            _cpuQueue.pop_front();
+            if (!_drainScheduled) {
+                _drainScheduled = true;
+                scheduleIn(_clk.cycles(1), [this] { drainStoreBuffer(); });
+            }
+            continue;
+        }
+
+        if (req.op == MemOp::Wh64) {
+            L1Line *l = _tags.find(req.addr);
+            if (l && (l->state == L1State::M || l->state == L1State::E)) {
+                l->state = L1State::M;
+                _tags.touch(*l);
+                ++statHits;
+                respond(pc.rsp, 0, FillSource::L1);
+                _cpuQueue.pop_front();
+                continue;
+            }
+            if (_mshr.valid)
+                return;
+            issueMiss(req, std::move(pc.rsp),
+                      l && l->state == L1State::S);
+            _cpuQueue.pop_front();
+            continue;
+        }
+
+        // Load / Ifetch.
+        std::uint64_t sb_value = 0;
+        if (!_p.isInstr && sbCovers(req.addr, req.size, sb_value)) {
+            ++statHits;
+            ++statSbForwards;
+            respond(pc.rsp, sb_value, FillSource::StoreBuffer);
+            _cpuQueue.pop_front();
+            continue;
+        }
+        L1Line *l = _tags.find(req.addr);
+        if (l) {
+            _tags.touch(*l);
+            ++statHits;
+            respond(pc.rsp, composeLoad(*l, req.addr, req.size),
+                    FillSource::L1);
+            _cpuQueue.pop_front();
+            continue;
+        }
+        if (_mshr.valid)
+            return; // blocking cache: one outstanding miss
+        issueMiss(req, std::move(pc.rsp), false);
+        _cpuQueue.pop_front();
+    }
+}
+
+void
+L1Cache::issueMiss(const MemReq &req, MemRspFn rsp, bool is_upgrade)
+{
+    ++statMisses;
+    _mshr.valid = true;
+    _mshr.req = req;
+    _mshr.rsp = std::move(rsp);
+    _mshr.lineAddr = lineAlign(req.addr);
+    _mshr.isUpgrade = is_upgrade;
+    _mshr.haveVictim = false;
+
+    IcsMsg msg;
+    msg.addr = _mshr.lineAddr;
+    msg.reqId = nextReqId();
+
+    if (is_upgrade) {
+        msg.type = IcsMsgType::Upgrade;
+        ++statUpgrades;
+    } else {
+        switch (req.op) {
+          case MemOp::Load:
+          case MemOp::Ifetch:
+            msg.type = IcsMsgType::GetS;
+            break;
+          case MemOp::Store:
+            msg.type = IcsMsgType::GetX;
+            break;
+          case MemOp::Wh64:
+            msg.type = IcsMsgType::Wh64Req;
+            break;
+        }
+        // Reserve the victim way. The victim stays fully functional
+        // in the array until the reply arrives (it can still service
+        // forwards), and its data travels with this request so the L2
+        // can capture it at its serialization point if this L1 is the
+        // owner (victim-cache fill; even clean owner data is kept).
+        // (Store-buffer entries targeting the victim are fine: they
+        // have not globally performed yet and will re-apply through
+        // their own coherent misses after the replacement.)
+        L1Line &v = _tags.victimFor(req.addr);
+        if (v.valid) {
+            _mshr.haveVictim = true;
+            _mshr.victimAddr = v.addr;
+            msg.hasVictim = true;
+            msg.victimAddr = v.addr;
+            msg.victimDirty = v.state == L1State::M;
+            msg.hasData = true;
+            msg.data = v.data;
+        }
+    }
+    sendToBank(std::move(msg), _mshr.lineAddr);
+}
+
+void
+L1Cache::sendToBank(IcsMsg msg, Addr addr)
+{
+    msg.srcPort = _myPort;
+    msg.dstPort = _bankPort(addr);
+    msg.l1Id = _l1Id;
+    _ics.send(std::move(msg));
+}
+
+void
+L1Cache::icsDeliver(const IcsMsg &msg)
+{
+    switch (msg.type) {
+      case IcsMsgType::FillS:
+      case IcsMsgType::FillX:
+      case IcsMsgType::UpgradeAck:
+      case IcsMsgType::PeerFillS:
+      case IcsMsgType::PeerFillX:
+        completeMiss(msg);
+        break;
+
+      case IcsMsgType::Inval: {
+        ++statInvalsReceived;
+        L1Line *l = _tags.find(msg.addr);
+        if (l) {
+            notifyEviction(l->addr);
+            l->state = L1State::I;
+            _tags.invalidate(*l);
+        }
+        break;
+      }
+
+      case IcsMsgType::FwdGetS:
+      case IcsMsgType::FwdGetX: {
+        // We are the on-chip owner: supply the line to the peer L1
+        // directly through the switch and notify the L2.
+        L1Line *l = _tags.find(msg.addr);
+        if (!l || l->state == L1State::I)
+            panic("%s: forward for absent line %#llx", name().c_str(),
+                  static_cast<unsigned long long>(msg.addr));
+        ++statFwdsServiced;
+        bool was_dirty = l->state == L1State::M;
+
+        IcsMsg fill;
+        fill.type = msg.type == IcsMsgType::FwdGetS
+                        ? IcsMsgType::PeerFillS
+                        : IcsMsgType::PeerFillX;
+        fill.addr = msg.addr;
+        fill.hasData = true;
+        fill.data = l->data;
+        fill.source = FillSource::L2Fwd;
+        fill.exclusive = msg.type == IcsMsgType::FwdGetX;
+        fill.writeBackVictim = msg.writeBackVictim;
+        fill.reqId = msg.reqId;
+        fill.srcPort = _myPort;
+        fill.dstPort = msg.l1Id; // L1 ports are their l1 ids
+        fill.l1Id = msg.l1Id;
+        _ics.send(std::move(fill));
+
+        if (msg.type == IcsMsgType::FwdGetX) {
+            notifyEviction(l->addr);
+            l->state = L1State::I;
+            _tags.invalidate(*l);
+        } else {
+            l->state = L1State::S;
+        }
+
+        IcsMsg done;
+        done.type = IcsMsgType::FwdDone;
+        done.addr = msg.addr;
+        done.reqId = msg.reqId;
+        done.victimDirty = was_dirty;
+        done.srcPort = _myPort;
+        done.dstPort = msg.srcPort;
+        done.l1Id = _l1Id;
+        _ics.send(std::move(done));
+        break;
+      }
+
+      default:
+        panic("%s: unexpected ICS message %s", name().c_str(),
+              icsMsgTypeName(msg.type));
+    }
+}
+
+void
+L1Cache::completeMiss(const IcsMsg &msg)
+{
+    if (!_mshr.valid || lineAlign(msg.addr) != _mshr.lineAddr)
+        panic("%s: fill %s for %#llx without matching MSHR",
+              name().c_str(), icsMsgTypeName(msg.type),
+              static_cast<unsigned long long>(msg.addr));
+
+    L1Line *slot = nullptr;
+
+    if (msg.type == IcsMsgType::UpgradeAck) {
+        slot = _tags.find(msg.addr);
+        if (!slot)
+            panic("%s: upgrade ack but line gone", name().c_str());
+        slot->state = L1State::E;
+    } else if (_mshr.isUpgrade) {
+        // Our shared copy was invalidated while the upgrade was in
+        // flight; the L2 turned it into a full fill.
+        slot = _tags.find(msg.addr);
+        if (!slot) {
+            slot = &_tags.victimFor(msg.addr);
+            if (slot->valid)
+                panic("%s: no free way for upgrade-turned-fill",
+                      name().c_str());
+            _tags.install(*slot, msg.addr);
+        }
+        slot->data = msg.data;
+        slot->state = L1State::E;
+        _tags.touch(*slot);
+    } else {
+        // Normal fill: drop the reserved victim (its data was
+        // shipped with the request; the L2 captured it if needed).
+        if (_mshr.haveVictim) {
+            L1Line *v = _tags.find(_mshr.victimAddr);
+            if (v && v->valid) {
+                ++statWritebacks;
+                notifyEviction(v->addr);
+                v->state = L1State::I;
+                _tags.invalidate(*v);
+                slot = v;
+            }
+        }
+        if (!slot) {
+            slot = &_tags.victimFor(msg.addr);
+            if (slot->valid)
+                panic("%s: fill found no free way", name().c_str());
+        }
+        _tags.install(*slot, msg.addr);
+        if (msg.hasData)
+            slot->data = msg.data;
+        else
+            slot->data = LineData{}; // wh64: contents unpredictable
+        slot->state = (msg.type == IcsMsgType::FillS ||
+                       msg.type == IcsMsgType::PeerFillS)
+                          ? L1State::S
+                          : L1State::E;
+    }
+
+    // Complete the CPU-side operation.
+    MemReq req = _mshr.req;
+    MemRspFn rsp = std::move(_mshr.rsp);
+    _mshr.valid = false;
+    _mshr.rsp = nullptr;
+
+    switch (req.op) {
+      case MemOp::Load:
+      case MemOp::Ifetch:
+        respond(rsp, composeLoad(*slot, req.addr, req.size), msg.source);
+        break;
+      case MemOp::Wh64:
+        slot->state = L1State::M;
+        respond(rsp, 0, msg.source);
+        break;
+      case MemOp::Store:
+        if (rsp) {
+            // Atomic store: apply and report global ordering.
+            applyStore(*slot,
+                       SbEntry{req.addr, req.size, req.value});
+            respond(rsp, 0, msg.source);
+        }
+        // else: store-buffer drain miss; the drain loop applies the
+        // store now that the line is exclusive.
+        break;
+    }
+
+    if (!_drainScheduled && !_sb.empty()) {
+        _drainScheduled = true;
+        scheduleIn(_clk.cycles(1), [this] { drainStoreBuffer(); });
+    }
+    tryStart();
+}
+
+void
+L1Cache::drainStoreBuffer()
+{
+    _drainScheduled = false;
+    if (_sb.empty())
+        return;
+    const SbEntry &e = _sb.front();
+    L1Line *l = _tags.find(e.addr);
+    if (l && (l->state == L1State::M || l->state == L1State::E)) {
+        applyStore(*l, e);
+        _sb.pop_front();
+        tryStart(); // a CPU store may be waiting for a free SB slot
+        if (!_sb.empty()) {
+            _drainScheduled = true;
+            scheduleIn(_clk.cycles(1), [this] { drainStoreBuffer(); });
+        }
+        return;
+    }
+    if (_mshr.valid)
+        return; // retried when the MSHR frees
+    MemReq req;
+    req.op = MemOp::Store;
+    req.addr = e.addr;
+    req.size = e.size;
+    req.value = e.value;
+    issueMiss(req, nullptr, l && l->state == L1State::S);
+}
+
+void
+L1Cache::applyStore(L1Line &line, const SbEntry &e)
+{
+    line.data.write(static_cast<unsigned>(e.addr & (lineBytes - 1)),
+                    e.size, e.value);
+    line.state = L1State::M;
+    _tags.touch(line);
+}
+
+std::uint64_t
+L1Cache::composeLoad(const L1Line &line, Addr addr, unsigned size) const
+{
+    std::uint64_t v = line.data.read(
+        static_cast<unsigned>(addr & (lineBytes - 1)), size);
+    // Overlay younger store-buffer bytes (oldest to newest).
+    auto *bytes = reinterpret_cast<std::uint8_t *>(&v);
+    for (const SbEntry &e : _sb) {
+        for (unsigned b = 0; b < e.size; ++b) {
+            Addr ba = e.addr + b;
+            if (ba >= addr && ba < addr + size)
+                bytes[ba - addr] =
+                    static_cast<std::uint8_t>(e.value >> (8 * b));
+        }
+    }
+    return v;
+}
+
+bool
+L1Cache::sbHasLine(Addr addr) const
+{
+    Addr base = lineAlign(addr);
+    for (const SbEntry &e : _sb)
+        if (lineAlign(e.addr) == base)
+            return true;
+    return false;
+}
+
+bool
+L1Cache::sbCovers(Addr addr, unsigned size, std::uint64_t &value) const
+{
+    std::uint64_t v = 0;
+    auto *bytes = reinterpret_cast<std::uint8_t *>(&v);
+    unsigned covered = 0;
+    std::vector<bool> have(size, false);
+    for (const SbEntry &e : _sb) {
+        for (unsigned b = 0; b < e.size; ++b) {
+            Addr ba = e.addr + b;
+            if (ba >= addr && ba < addr + size) {
+                unsigned idx = static_cast<unsigned>(ba - addr);
+                if (!have[idx]) {
+                    have[idx] = true;
+                    ++covered;
+                }
+                bytes[idx] =
+                    static_cast<std::uint8_t>(e.value >> (8 * b));
+            }
+        }
+    }
+    if (covered == size) {
+        value = v;
+        return true;
+    }
+    return false;
+}
+
+void
+L1Cache::notifyEviction(Addr addr)
+{
+    if (_evictionListener)
+        _evictionListener(addr);
+}
+
+} // namespace piranha

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * First-level cache module (paper §2.1).
+ *
+ * 64 KB, two-way set-associative, 64-byte lines, virtually indexed /
+ * physically tagged, single-cycle hit latency, blocking (one
+ * outstanding miss). Data caches include a store buffer; instruction
+ * caches are read-only and, unlike other Alpha implementations, are
+ * kept coherent by hardware (they share this design).
+ *
+ * A 2-bit MESI state is kept per line. The L1 never snoops: all
+ * coherence actions arrive as explicit messages from the owning L2
+ * bank through the intra-chip switch, exploiting the switch's
+ * per-(source, destination, lane) ordering:
+ *
+ *  - Inval: invalidate without acknowledgement.
+ *  - FwdGetS/FwdGetX: this L1 is the on-chip owner; supply the line
+ *    directly to a peer L1 (PeerFill*) and notify the L2 (FwdDone).
+ *
+ * Replacement protocol: the L1 keeps a victim fully functional in the
+ * tag array until the reply to the displacing request arrives; the
+ * reply piggybacks the L2's write-back decision (owner L1s write back
+ * even clean data — the L2 behaves as a victim cache). Because the L2
+ * updates its duplicate tags at its serialization point and the ICS
+ * preserves (src,dst,lane) order, no request/forward/invalidate race
+ * can observe an inconsistent victim.
+ */
+
+#ifndef PIRANHA_CACHE_L1_CACHE_H
+#define PIRANHA_CACHE_L1_CACHE_H
+
+#include <deque>
+#include <functional>
+
+#include "cache/tag_array.h"
+#include "ics/intra_chip_switch.h"
+#include "mem/coherence_types.h"
+#include "sim/sim_object.h"
+#include "stats/stats.h"
+
+namespace piranha {
+
+/** One L1 line: MESI state + payload. */
+struct L1Line : TagLine
+{
+    L1State state = L1State::I;
+    LineData data;
+};
+
+/** Configuration of one L1 cache. */
+struct L1Params
+{
+    std::size_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    bool isInstr = false;
+    unsigned hitCycles = 1;
+    unsigned storeBufferDepth = 8;
+};
+
+/** A first-level instruction or data cache. */
+class L1Cache : public SimObject, public IcsClient
+{
+  public:
+    /**
+     * @param l1_id chip-wide L1 identifier (2*cpu for dL1, 2*cpu+1
+     *              for iL1); used by the L2 duplicate tags.
+     * @param bank_port maps a physical address to the ICS port of the
+     *              L2 bank that owns it.
+     */
+    L1Cache(EventQueue &eq, std::string name, const L1Params &params,
+            const Clock &clk, IntraChipSwitch &ics, int my_port,
+            int l1_id, std::function<int(Addr)> bank_port);
+
+    /**
+     * Present a CPU request. The callback fires when the access
+     * completes; stores complete when they enter the store buffer.
+     * Requests are queued internally if resources are busy, so this
+     * may always be called — but an in-order CPU should wait for the
+     * callback before issuing its next access.
+     */
+    void access(const MemReq &req, MemRspFn rsp);
+
+    void icsDeliver(const IcsMsg &msg) override;
+
+    /** Current MESI state of the line containing @p addr. */
+    L1State lineState(Addr addr) const;
+
+    /**
+     * Register a hook invoked whenever a line leaves this cache
+     * involuntarily or by replacement (LL/SC monitors, tests).
+     */
+    void setEvictionListener(std::function<void(Addr)> fn)
+    {
+        _evictionListener = std::move(fn);
+    }
+
+    int l1Id() const { return _l1Id; }
+
+    void regStats(StatGroup &parent);
+
+    Scalar statHits;
+    Scalar statMisses;
+    Scalar statSbForwards;
+    Scalar statInvalsReceived;
+    Scalar statFwdsServiced;
+    Scalar statWritebacks;
+    Scalar statUpgrades;
+
+  private:
+    struct Mshr
+    {
+        bool valid = false;
+        MemReq req;
+        MemRspFn rsp;          //!< null for store-buffer drains
+        Addr lineAddr = 0;
+        bool isUpgrade = false;
+        bool haveVictim = false;
+        Addr victimAddr = 0;
+    };
+
+    struct SbEntry
+    {
+        Addr addr;
+        std::uint8_t size;
+        std::uint64_t value;
+    };
+
+    struct PendingCpu
+    {
+        MemReq req;
+        MemRspFn rsp;
+    };
+
+    void respond(MemRspFn &rsp, std::uint64_t value, FillSource src,
+                 unsigned extra_cycles = 0);
+    void tryStart();
+    void startAccess(const MemReq &req, MemRspFn rsp);
+    void issueMiss(const MemReq &req, MemRspFn rsp, bool is_upgrade);
+    void completeMiss(const IcsMsg &msg);
+    void drainStoreBuffer();
+    void applyStore(L1Line &line, const SbEntry &e);
+    std::uint64_t composeLoad(const L1Line &line, Addr addr,
+                              unsigned size) const;
+    bool sbCovers(Addr addr, unsigned size, std::uint64_t &value) const;
+    bool sbHasLine(Addr addr) const;
+    void notifyEviction(Addr addr);
+    void sendToBank(IcsMsg msg, Addr addr);
+
+    L1Params _p;
+    const Clock &_clk;
+    IntraChipSwitch &_ics;
+    int _myPort;
+    int _l1Id;
+    std::function<int(Addr)> _bankPort;
+
+    TagArray<L1Line> _tags;
+    Mshr _mshr;
+    std::deque<SbEntry> _sb;
+    std::deque<PendingCpu> _cpuQueue;
+    bool _drainScheduled = false;
+    std::function<void(Addr)> _evictionListener;
+    StatGroup _stats;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_CACHE_L1_CACHE_H

@@ -1,0 +1,984 @@
+#include "cache/l2_bank.h"
+
+#include <bit>
+#include <iostream>
+#include <ostream>
+
+namespace piranha {
+
+L2Bank::L2Bank(EventQueue &eq, std::string name, const L2Params &params,
+               const Clock &clk, IntraChipSwitch &ics, int my_port,
+               NodeId node, const AddressMap &amap, MemCtrl &mc)
+    : SimObject(eq, std::move(name)), _p(params), _clk(clk), _ics(ics),
+      _myPort(my_port), _node(node), _amap(amap), _mc(mc),
+      _tags(params.bankBytes, params.assoc, ReplPolicy::RoundRobin, 3),
+      _stats(this->name())
+{
+}
+
+void
+L2Bank::regStats(StatGroup &parent)
+{
+    _stats.addScalar("l2_hit", &statL2Hit, "L1 misses served by L2");
+    _stats.addScalar("l2_fwd", &statL2Fwd,
+                     "L1 misses forwarded to another on-chip L1");
+    _stats.addScalar("mem_local", &statMemLocal,
+                     "L1 misses filled from local memory");
+    _stats.addScalar("mem_remote", &statMemRemote,
+                     "L1 misses filled from remote home memory");
+    _stats.addScalar("remote_dirty", &statRemoteDirty,
+                     "L1 misses served by a dirty remote node");
+    _stats.addScalar("wb_installs", &statWbInstalls,
+                     "L1 victim write-backs installed (victim cache)");
+    _stats.addScalar("evictions", &statL2Evictions, "L2 line evictions");
+    _stats.addScalar("blocked", &statBlockedReqs,
+                     "requests blocked on a pending entry");
+    _stats.addScalar("engine_trips", &statEngineTrips,
+                     "requests needing a protocol engine");
+    _stats.addScalar("pdir_shortcut", &statPdirShortcut,
+                     "exclusive grants via cached partial dir info");
+    parent.addChild(&_stats);
+}
+
+std::uint32_t
+L2Bank::dupSharers(Addr addr) const
+{
+    auto it = _info.find(lineNum(addr));
+    return it == _info.end() ? 0 : it->second.sharers;
+}
+
+void
+L2Bank::debugDump(std::ostream &os) const
+{
+    for (const auto &[line, info] : _info) {
+        if (!info.busy && !info.peActive && info.blocked.empty())
+            continue;
+        os << "  " << name() << " line=" << std::hex << (line << 6)
+           << std::dec << " busy=" << info.busy
+           << " txn=" << static_cast<int>(info.txn.kind)
+           << " peActive=" << info.peActive
+           << " peTxn=" << static_cast<int>(info.peTxn.kind)
+           << " blocked=" << info.blocked.size()
+           << " sharers=" << std::hex << info.sharers << std::dec
+           << " owner=" << info.ownerL1 << " l1Excl=" << info.l1Excl
+           << " nodeExcl=" << info.nodeExcl << "\n";
+    }
+}
+
+bool
+L2Bank::lineBusy(Addr addr) const
+{
+    auto it = _info.find(lineNum(addr));
+    return it != _info.end() &&
+           (it->second.busy || it->second.peActive);
+}
+
+void
+L2Bank::maybeErase(Addr addr)
+{
+    auto it = _info.find(lineNum(addr));
+    if (it == _info.end())
+        return;
+    const Info &i = it->second;
+    if (!i.busy && !i.peActive && i.blocked.empty() && i.sharers == 0 &&
+        !i.nodeExcl && !i.nodeDirty && !_tags.find(addr)) {
+        _info.erase(it);
+    }
+}
+
+bool
+L2Bank::canProcess(const Info &info, const IcsMsg &msg) const
+{
+    switch (msg.type) {
+      case IcsMsgType::GetS:
+      case IcsMsgType::GetX:
+      case IcsMsgType::Upgrade:
+      case IcsMsgType::Wh64Req:
+        return !info.busy && !info.peActive;
+      case IcsMsgType::PeReadLocal:
+      case IcsMsgType::PeInvalLocal:
+        // Engine ops may interleave with an L1 request that is parked
+        // waiting for that same engine (the engine serializes the
+        // line inter-node, so this is race-free) but not with any
+        // other transaction kind.
+        return !info.peActive &&
+               (!info.busy || info.txn.kind == Info::Txn::L1Engine);
+      default:
+        return true;
+    }
+}
+
+void
+L2Bank::icsDeliver(const IcsMsg &msg)
+{
+    IcsMsg m = msg;
+    scheduleIn(_clk.cycles(_p.lookupCycles), [this, m = std::move(m)] {
+        switch (m.type) {
+          case IcsMsgType::GetS:
+          case IcsMsgType::GetX:
+          case IcsMsgType::Upgrade:
+          case IcsMsgType::Wh64Req:
+            onL1Request(m);
+            break;
+          case IcsMsgType::WbData:
+            onWbData(m);
+            break;
+          case IcsMsgType::FwdDone:
+            onFwdDone(m);
+            break;
+          case IcsMsgType::PeerFillS:
+          case IcsMsgType::PeerFillX:
+            onGatherData(m);
+            break;
+          case IcsMsgType::PeData:
+            onPeData(m);
+            break;
+          case IcsMsgType::PeReadLocal:
+            onPeReadLocal(m);
+            break;
+          case IcsMsgType::PeInvalLocal:
+            onPeInvalLocal(m);
+            break;
+          case IcsMsgType::PeComplete: {
+            Info &info = infoFor(m.addr);
+            if (!info.peActive || info.peTxn.kind != Info::Txn::PeHeld)
+                panic("%s: PeComplete without held line",
+                      name().c_str());
+            finishPeTxn(m.addr);
+            break;
+          }
+          default:
+            panic("%s: unexpected ICS message %s", name().c_str(),
+                  icsMsgTypeName(m.type));
+        }
+    });
+}
+
+void
+L2Bank::onL1Request(IcsMsg msg)
+{
+    Info &info = infoFor(msg.addr);
+    if (!canProcess(info, msg) || !info.blocked.empty()) {
+        ++statBlockedReqs;
+        info.blocked.push_back(std::move(msg));
+        return;
+    }
+    // The victim piggyback is resolved first, at this serialization
+    // point; the decision rides back on the reply.
+    bool wb_decision = false;
+    if (msg.hasVictim)
+        wb_decision = handleVictim(msg);
+    dispatchL1Request(std::move(msg), wb_decision);
+}
+
+bool
+L2Bank::handleVictim(const IcsMsg &msg)
+{
+    Info &v = infoFor(msg.victimAddr);
+    std::uint32_t bit = 1u << msg.l1Id;
+    if (!(v.sharers & bit))
+        return false; // already invalidated under us
+
+    bool l2_has = _tags.find(msg.victimAddr) != nullptr;
+    bool is_owner = v.ownerL1 == msg.l1Id && !l2_has;
+
+    v.sharers &= ~bit;
+    if (v.ownerL1 == msg.l1Id) {
+        v.l1Excl = false;
+        v.ownerL1 = v.sharers ? std::countr_zero(v.sharers) : -1;
+    }
+
+    if (v.busy || v.peActive) {
+        // A transaction is active on the victim line. Any data the
+        // departing L1 holds is captured by that transaction (forward
+        // or gather), so the replacement needs no write-back.
+        return false;
+    }
+    if (is_owner) {
+        // Owner replacement: the L2 captures the shipped data right
+        // here at its serialization point (victim-cache fill, even
+        // for clean lines). Installing synchronously — rather than
+        // blocking the line until a separate write-back arrives —
+        // keeps pending entries free of cross-line dependences (the
+        // victim's availability never waits on the displacing fill).
+        if (!msg.hasData)
+            panic("%s: owner victim without shipped data",
+                  name().c_str());
+        ++statWbInstalls;
+        bool dirty = msg.victimDirty || v.nodeDirty;
+        v.nodeDirty = false;
+        installL2(msg.victimAddr, msg.data, dirty);
+        return false;
+    }
+    maybeErase(msg.victimAddr);
+    return false;
+}
+
+void
+L2Bank::dispatchL1Request(IcsMsg msg, bool wb_decision)
+{
+    Addr a = msg.addr;
+    Info &info = infoFor(a);
+    std::uint32_t bit = 1u << msg.l1Id;
+    L2Line *l2l = _tags.find(a);
+    bool ifetch = isInstrL1(msg.l1Id);
+
+    if (msg.type == IcsMsgType::Upgrade && !(info.sharers & bit)) {
+        // The requester's shared copy was invalidated while the
+        // upgrade was in flight: treat as a full GetX (data reply).
+        msg.type = IcsMsgType::GetX;
+    }
+
+    if (msg.type == IcsMsgType::GetS) {
+        if (l2l) {
+            ++statL2Hit;
+            _tags.touch(*l2l);
+            replyFill(msg, l2l->data, true, false, FillSource::L2Hit,
+                      wb_decision);
+            info.sharers |= bit;
+            info.ownerL1 = msg.l1Id;
+            info.l1Excl = false;
+            return;
+        }
+        if (info.sharers) {
+            // Forward to the on-chip owner; data flows L1-to-L1.
+            int owner = info.ownerL1;
+            if (owner < 0 || owner == msg.l1Id)
+                panic("%s: bad owner %d for fwd", name().c_str(), owner);
+            ++statL2Fwd;
+            IcsMsg fwd;
+            fwd.type = IcsMsgType::FwdGetS;
+            fwd.addr = a;
+            fwd.srcPort = _myPort;
+            fwd.dstPort = owner;
+            fwd.l1Id = msg.l1Id;
+            fwd.writeBackVictim = wb_decision;
+            fwd.reqId = msg.reqId;
+            _ics.send(std::move(fwd));
+            info.sharers |= bit;
+            info.ownerL1 = msg.l1Id;
+            info.l1Excl = false;
+            info.busy = true;
+            info.txn = Info::Txn{};
+            info.txn.kind = Info::Txn::L1Fwd;
+            info.txn.req = std::move(msg);
+            return;
+        }
+        // No on-chip copy: fill the L1 directly from memory without
+        // allocating in the L2 (non-inclusive hierarchy).
+        info.busy = true;
+        info.txn = Info::Txn{};
+        info.txn.req = std::move(msg);
+        info.txn.wbDecision = wb_decision;
+        if (isLocal(a)) {
+            info.txn.kind = Info::Txn::L1Mem;
+            _mc.readLine(a, [this, a](const LineData &d, std::uint64_t dir) {
+                onMemData(a, d, dir);
+            });
+        } else {
+            info.txn.kind = Info::Txn::L1Engine;
+            ++statEngineTrips;
+            sendEngine(info.txn.req, PeOp::ReqS, false, 0, false);
+        }
+        return;
+    }
+
+    // GetX / Wh64Req / Upgrade: exclusive-permission requests.
+    if (ifetch)
+        panic("%s: exclusive request from iL1", name().c_str());
+
+    if (info.l1Excl) {
+        // Sole owner is another on-chip L1: forward.
+        int owner = info.ownerL1;
+        if (owner < 0 || owner == msg.l1Id)
+            panic("%s: bad excl owner %d", name().c_str(), owner);
+        ++statL2Fwd;
+        IcsMsg fwd;
+        fwd.type = IcsMsgType::FwdGetX;
+        fwd.addr = a;
+        fwd.srcPort = _myPort;
+        fwd.dstPort = owner;
+        fwd.l1Id = msg.l1Id;
+        fwd.writeBackVictim = wb_decision;
+        fwd.reqId = msg.reqId;
+        _ics.send(std::move(fwd));
+        info.sharers = bit;
+        info.ownerL1 = msg.l1Id;
+        info.l1Excl = true;
+        info.busy = true;
+        info.txn = Info::Txn{};
+        info.txn.kind = Info::Txn::L1Fwd;
+        info.txn.req = std::move(msg);
+        return;
+    }
+
+    bool node_safe = isLocal(a)
+                         ? (_p.pdirShortcut &&
+                            info.pdir == Info::PD_None)
+                         : info.nodeExcl;
+    if (node_safe) {
+        if (isLocal(a))
+            ++statPdirShortcut;
+        grantLocalExclusive(std::move(msg), wb_decision, nullptr);
+        return;
+    }
+
+    info.busy = true;
+    info.txn = Info::Txn{};
+    info.txn.wbDecision = wb_decision;
+    if (isLocal(a)) {
+        // Read the directory (free with the line's ECC bits) and
+        // decide whether remote action is needed.
+        info.txn.kind = Info::Txn::L1Mem;
+        info.txn.req = std::move(msg);
+        _mc.readLine(a, [this, a](const LineData &d, std::uint64_t dir) {
+            onMemData(a, d, dir);
+        });
+    } else {
+        info.txn.kind = Info::Txn::L1Engine;
+        ++statEngineTrips;
+        bool have_local_data = l2l != nullptr || info.sharers != 0;
+        PeOp op = have_local_data ? PeOp::ReqUpgrade : PeOp::ReqX;
+        info.txn.req = std::move(msg);
+        sendEngine(info.txn.req, op, false, 0, false);
+    }
+}
+
+void
+L2Bank::grantLocalExclusive(IcsMsg req, bool wb_decision,
+                            const LineData *mem_data)
+{
+    Addr a = req.addr;
+    Info &info = infoFor(a);
+    std::uint32_t bit = 1u << req.l1Id;
+    L2Line *l2l = _tags.find(a);
+    bool still_sharer =
+        req.type == IcsMsgType::Upgrade && (info.sharers & bit);
+
+    if (!still_sharer && !l2l && info.sharers) {
+        // Data lives only in peer S copies: forward to the owner to
+        // capture it, invalidate the rest.
+        int owner = info.ownerL1;
+        if (owner < 0)
+            panic("%s: sharers without owner", name().c_str());
+        for (int l1 = 0; l1 < 16; ++l1) {
+            if (l1 != owner && l1 != req.l1Id &&
+                (info.sharers & (1u << l1))) {
+                IcsMsg inv;
+                inv.type = IcsMsgType::Inval;
+                inv.addr = a;
+                inv.srcPort = _myPort;
+                inv.dstPort = l1;
+                _ics.send(std::move(inv));
+            }
+        }
+        ++statL2Fwd;
+        IcsMsg fwd;
+        fwd.type = IcsMsgType::FwdGetX;
+        fwd.addr = a;
+        fwd.srcPort = _myPort;
+        fwd.dstPort = owner;
+        fwd.l1Id = req.l1Id;
+        fwd.writeBackVictim = wb_decision;
+        fwd.reqId = req.reqId;
+        _ics.send(std::move(fwd));
+        info.sharers = bit;
+        info.ownerL1 = req.l1Id;
+        info.l1Excl = true;
+        info.busy = true;
+        Info::Txn txn;
+        txn.kind = Info::Txn::L1Fwd;
+        txn.req = std::move(req);
+        txn.wbDecision = wb_decision;
+        info.txn = std::move(txn);
+        if (isLocal(a))
+            info.pdir = Info::PD_None;
+        else
+            info.nodeExcl = true;
+        return;
+    }
+
+    invalL1Sharers(info, a, req.l1Id);
+
+    if (still_sharer) {
+        invalL2Copy(info, a);
+        replyUpgradeAck(req);
+    } else if (l2l) {
+        ++statL2Hit;
+        LineData data = l2l->data;
+        invalL2Copy(info, a);
+        replyFill(req, data, true, true, FillSource::L2Hit, wb_decision);
+    } else if (mem_data) {
+        ++statMemLocal;
+        replyFill(req, *mem_data, req.type != IcsMsgType::Wh64Req, true,
+                  FillSource::MemLocal, wb_decision);
+    } else {
+        panic("%s: exclusive grant with no data source for %#llx",
+              name().c_str(), static_cast<unsigned long long>(a));
+    }
+    info.sharers = bit;
+    info.ownerL1 = req.l1Id;
+    info.l1Excl = true;
+    info.nodeDirty = false;
+    if (isLocal(a))
+        info.pdir = Info::PD_None;
+    else
+        info.nodeExcl = true;
+
+    if (info.busy && info.txn.kind != Info::Txn::L1Fwd)
+        finishTxn(a);
+}
+
+void
+L2Bank::onMemData(Addr addr, const LineData &data, std::uint64_t dir_bits)
+{
+    Info &info = infoFor(addr);
+    if (!info.busy || info.txn.kind != Info::Txn::L1Mem)
+        panic("%s: stray memory data for %#llx", name().c_str(),
+              static_cast<unsigned long long>(addr));
+    DirEntry dir = DirEntry::unpack(dir_bits, _amap.numNodes);
+    IcsMsg req = info.txn.req;
+    std::uint32_t bit = 1u << req.l1Id;
+    bool ifetch = isInstrL1(req.l1Id);
+
+    if (req.type == IcsMsgType::GetS) {
+        if (dir.state() == DirState::Exclusive) {
+            ++statEngineTrips;
+            info.txn.kind = Info::Txn::L1Engine;
+            sendEngine(req, PeOp::ReqS, true, dir_bits, true);
+            // Engine ops blocked during the memory read may now
+            // interleave with the parked transaction.
+            drainBlocked(addr);
+            return;
+        }
+        ++statMemLocal;
+        bool excl = dir.empty() && !ifetch;
+        replyFill(req, data, true, excl, FillSource::MemLocal,
+                  info.txn.wbDecision);
+        info.sharers |= bit;
+        info.ownerL1 = req.l1Id;
+        info.l1Excl = excl;
+        info.pdir = dir.empty() ? Info::PD_None : Info::PD_Shared;
+        finishTxn(addr);
+        return;
+    }
+
+    // Exclusive-class request.
+    if (dir.empty()) {
+        info.pdir = Info::PD_None;
+        grantLocalExclusive(req, info.txn.wbDecision, &data);
+        return;
+    }
+    // Remote copies exist: the home engine re-reads the directory at
+    // its own serialization point and completes the remote side.
+    ++statEngineTrips;
+    info.txn.kind = Info::Txn::L1Engine;
+    sendEngine(req, PeOp::ReqX, true, dir_bits, true);
+    drainBlocked(addr);
+}
+
+void
+L2Bank::onPeData(const IcsMsg &msg)
+{
+    Addr a = msg.addr;
+    Info &info = infoFor(a);
+    if (!info.busy || info.txn.kind != Info::Txn::L1Engine)
+        panic("%s: stray PeData for %#llx", name().c_str(),
+              static_cast<unsigned long long>(a));
+    IcsMsg req = info.txn.req;
+    std::uint32_t bit = 1u << req.l1Id;
+
+    // Count the remote service for the miss breakdown.
+    if (msg.source == FillSource::MemRemote)
+        ++statMemRemote;
+    else if (msg.source == FillSource::RemoteDirty)
+        ++statRemoteDirty;
+    else if (msg.source == FillSource::MemLocal)
+        ++statMemLocal;
+
+    if (req.type == IcsMsgType::GetS) {
+        replyFill(req, msg.data, true, msg.exclusive, msg.source,
+                  info.txn.wbDecision);
+        info.sharers |= bit;
+        info.ownerL1 = req.l1Id;
+        info.l1Excl = msg.exclusive;
+        if (isLocal(a))
+            info.pdir = msg.exclusive ? Info::PD_None : Info::PD_Shared;
+        else
+            info.nodeExcl = msg.exclusive;
+        finishTxn(a);
+        return;
+    }
+
+    // Exclusive-class completion.
+    if (msg.hasData) {
+        // Fresh data granted (RepX / remote dirty): any local copies
+        // are stale.
+        invalL1Sharers(info, a, -1);
+        invalL2Copy(info, a);
+        info.nodeDirty = false;
+        replyFill(req, msg.data, true, true, msg.source,
+                  info.txn.wbDecision);
+        info.sharers = bit;
+        info.ownerL1 = req.l1Id;
+        info.l1Excl = true;
+        if (isLocal(a))
+            info.pdir = Info::PD_None;
+        else
+            info.nodeExcl = true;
+        finishTxn(a);
+    } else {
+        // Permission-only grant: data is already on chip (or comes
+        // with the mem data the PeReadLocal path returned earlier).
+        if (isLocal(a))
+            info.pdir = Info::PD_None;
+        else
+            info.nodeExcl = true;
+        LineData mem = msg.data;
+        grantLocalExclusive(req, info.txn.wbDecision,
+                            msg.hasData ? &mem : nullptr);
+    }
+}
+
+void
+L2Bank::onFwdDone(const IcsMsg &msg)
+{
+    Addr a = msg.addr;
+    Info &info = infoFor(a);
+    if (info.peActive && info.peTxn.kind == Info::Txn::PeReadFwd) {
+        info.peTxn.gatherDirty = msg.victimDirty || info.nodeDirty ||
+                                 info.peTxn.gatherDirty;
+        // Apply the requested mode now that data is captured.
+        if (info.peTxn.req.mode == PeLocalMode::Excl) {
+            invalL1Sharers(info, a, -1);
+            invalL2Copy(info, a);
+            info.nodeExcl = false;
+            info.nodeDirty = false;
+        } else {
+            // The owning L1 downgraded to S while supplying the data.
+            info.l1Excl = false;
+            info.nodeExcl = false;
+            info.nodeDirty = false; // home writes memory current
+        }
+        info.pdir = Info::PD_Unknown;
+        info.peTxn.kind = Info::Txn::PeRead;
+        completePeRead(a);
+        return;
+    }
+    if (!info.busy || info.txn.kind != Info::Txn::L1Fwd)
+        panic("%s: FwdDone without forward txn", name().c_str());
+    if (info.txn.req.type == IcsMsgType::GetS) {
+        // Dirty data may now live in shared L1 copies.
+        info.nodeDirty = info.nodeDirty || msg.victimDirty;
+    } else {
+        // Exclusive transfer: the new M holder carries dirtiness.
+        info.nodeDirty = false;
+    }
+    finishTxn(a);
+}
+
+void
+L2Bank::onGatherData(const IcsMsg &msg)
+{
+    Info &info = infoFor(msg.addr);
+    if (!info.peActive || info.peTxn.kind != Info::Txn::PeReadFwd)
+        panic("%s: stray gather data", name().c_str());
+    info.peTxn.data = msg.data;
+    info.peTxn.haveData = true;
+}
+
+void
+L2Bank::onWbData(const IcsMsg &msg)
+{
+    Addr a = msg.addr;
+    Info &info = infoFor(a);
+    if (!info.busy || info.txn.kind != Info::Txn::WbWait)
+        panic("%s: unexpected WbData for %#llx", name().c_str(),
+              static_cast<unsigned long long>(a));
+    ++statWbInstalls;
+    bool dirty = msg.victimDirty || info.nodeDirty;
+    info.nodeDirty = false;
+    installL2(a, msg.data, dirty);
+    finishTxn(a);
+}
+
+void
+L2Bank::installL2(Addr addr, const LineData &data, bool dirty)
+{
+    if (_tags.find(addr))
+        panic("%s: double L2 install", name().c_str());
+    // Choose a victim way whose line has no active transaction.
+    L2Line *slot = nullptr;
+    for (unsigned attempt = 0; attempt < _p.assoc; ++attempt) {
+        L2Line &cand = _tags.victimFor(addr);
+        if (!cand.valid || !lineBusy(cand.addr)) {
+            slot = &cand;
+            break;
+        }
+    }
+    if (!slot)
+        panic("%s: all L2 ways busy in set of %#llx", name().c_str(),
+              static_cast<unsigned long long>(addr));
+    if (slot->valid)
+        evictL2Line(*slot);
+    _tags.install(*slot, addr);
+    slot->data = data;
+    slot->dirty = dirty;
+}
+
+void
+L2Bank::evictL2Line(L2Line &line)
+{
+    ++statL2Evictions;
+    Addr a = line.addr;
+    Info &info = infoFor(a);
+    if (info.sharers) {
+        // L1 copies remain: ownership stays with the last-requester
+        // L1; remember dirtiness so its eventual write-back installs
+        // dirty.
+        info.nodeDirty = info.nodeDirty || line.dirty;
+        _tags.invalidate(line);
+        return;
+    }
+    // Node-level eviction.
+    if (isLocal(a)) {
+        if (line.dirty || info.nodeDirty) {
+            LineData d = line.data;
+            _mc.writeLine(a, &d, nullptr);
+        }
+    } else if (info.nodeExcl) {
+        // Exclusive owner gives the line back to its home; the remote
+        // engine buffers the data until the home acknowledges. The
+        // buffer is populated synchronously so a forwarded request
+        // racing with this eviction is always serviceable.
+        if (_wbBufferHook)
+            _wbBufferHook(a, line.data,
+                          line.dirty || info.nodeDirty);
+        IcsMsg wb;
+        wb.type = IcsMsgType::ToRemoteEngine;
+        wb.addr = a;
+        wb.peOp = PeOp::WbExcl;
+        wb.hasData = true;
+        wb.data = line.data;
+        wb.victimDirty = line.dirty || info.nodeDirty;
+        wb.srcPort = _myPort;
+        wb.dstPort = remoteEnginePort;
+        wb.reqId = nextReqId();
+        _ics.send(std::move(wb));
+        info.nodeExcl = false;
+        info.nodeDirty = false;
+    }
+    info.nodeDirty = false;
+    _tags.invalidate(line);
+    maybeErase(a);
+}
+
+void
+L2Bank::onPeReadLocal(IcsMsg msg)
+{
+    Addr a = msg.addr;
+    Info &info = infoFor(a);
+    if (!canProcess(info, msg)) {
+        ++statBlockedReqs;
+        info.blocked.push_back(std::move(msg));
+        return;
+    }
+    info.peActive = true;
+    info.peTxn = Info::Txn{};
+    info.peTxn.kind = Info::Txn::PeRead;
+    info.peTxn.req = msg;
+    L2Line *l2l = _tags.find(a);
+    info.peTxn.localPresent = l2l || info.sharers != 0;
+
+    bool need_data = msg.mode != PeLocalMode::DirOnly;
+
+    if (need_data && !l2l && info.sharers) {
+        // Gather from the owning L1; the peer fill targets this bank.
+        int owner = info.ownerL1;
+        IcsMsg fwd;
+        fwd.type = msg.mode == PeLocalMode::Excl ? IcsMsgType::FwdGetX
+                                                 : IcsMsgType::FwdGetS;
+        fwd.addr = a;
+        fwd.srcPort = _myPort;
+        fwd.dstPort = owner;
+        fwd.l1Id = _myPort;
+        fwd.reqId = msg.reqId;
+        _ics.send(std::move(fwd));
+        if (msg.mode == PeLocalMode::Excl)
+            invalL1Sharers(info, a, owner);
+        info.peTxn.kind = Info::Txn::PeReadFwd;
+        // Remaining mode effects are applied at FwdDone.
+    } else {
+        if (need_data && l2l) {
+            info.peTxn.haveData = true;
+            info.peTxn.data = l2l->data;
+            info.peTxn.gatherDirty = l2l->dirty || info.nodeDirty;
+        }
+        if (msg.mode == PeLocalMode::Excl) {
+            invalL1Sharers(info, a, -1);
+            invalL2Copy(info, a);
+            info.nodeExcl = false;
+            info.nodeDirty = false;
+            info.pdir = Info::PD_Unknown;
+        } else if (msg.mode == PeLocalMode::Share) {
+            if (l2l)
+                l2l->dirty = false; // home memory becomes current
+            info.nodeExcl = false;
+            info.nodeDirty = false;
+            info.pdir = Info::PD_Unknown;
+        } else {
+            info.pdir = Info::PD_Unknown;
+        }
+    }
+
+    if (isLocal(a)) {
+        // The directory comes with the line's ECC bits.
+        _mc.readLine(a, [this, a](const LineData &d, std::uint64_t dir) {
+            Info &i = infoFor(a);
+            if (!i.peActive)
+                panic("%s: stray dir read", name().c_str());
+            i.peTxn.dirBits = dir;
+            i.peTxn.haveDir = true;
+            if (!i.peTxn.haveData && !i.peTxn.localPresent &&
+                i.peTxn.req.mode != PeLocalMode::DirOnly) {
+                i.peTxn.data = d;
+                i.peTxn.haveData = true;
+            }
+            if (i.peTxn.kind == Info::Txn::PeRead)
+                completePeRead(a);
+        });
+    } else {
+        info.peTxn.haveDir = true; // not applicable off-home
+        if (info.peTxn.kind == Info::Txn::PeRead)
+            completePeRead(a);
+    }
+}
+
+void
+L2Bank::completePeRead(Addr addr)
+{
+    Info &info = infoFor(addr);
+    Info::Txn &t = info.peTxn;
+    bool need_data = t.req.mode != PeLocalMode::DirOnly;
+    bool dir_needed = isLocal(addr);
+    if ((need_data && !t.haveData && t.localPresent) ||
+        (dir_needed && !t.haveDir))
+        return; // still gathering
+    // Off-home reads may find the chip empty when a node-level
+    // eviction raced with the forwarded request; the reply reports
+    // localPresent=false and the remote engine falls back to its
+    // write-back buffer (populated synchronously at eviction).
+
+    IcsMsg rsp;
+    rsp.type = IcsMsgType::PeReadLocalRsp;
+    rsp.addr = addr;
+    rsp.srcPort = _myPort;
+    rsp.dstPort = t.req.srcPort;
+    rsp.reqId = t.req.reqId;
+    rsp.hasData = t.haveData;
+    rsp.data = t.data;
+    rsp.dirBits = t.dirBits;
+    rsp.hasDir = dir_needed;
+    rsp.localPresent = t.localPresent;
+    rsp.localDirty = t.gatherDirty;
+    rsp.mode = t.req.mode;
+    rsp.peOp = t.req.peOp;
+    _ics.send(std::move(rsp));
+    if (t.req.holdLine) {
+        // Keep the pending entry blocked; the engine releases it with
+        // PeComplete when its transaction (directory update, memory
+        // write, forwarded data) is complete.
+        info.peTxn.kind = Info::Txn::PeHeld;
+        return;
+    }
+    finishPeTxn(addr);
+}
+
+void
+L2Bank::onPeInvalLocal(IcsMsg msg)
+{
+    Addr a = msg.addr;
+    Info &info = infoFor(a);
+    if (!canProcess(info, msg)) {
+        ++statBlockedReqs;
+        info.blocked.push_back(std::move(msg));
+        return;
+    }
+    bool acquiring_excl =
+        info.busy && info.txn.kind == Info::Txn::L1Engine &&
+        info.txn.req.type != IcsMsgType::GetS;
+    if (!info.l1Excl && !info.nodeExcl && !acquiring_excl) {
+        // Genuine invalidation of clean shared copies.
+        invalL1Sharers(info, a, -1);
+        invalL2Copy(info, a);
+        info.nodeDirty = false;
+        info.pdir = Info::PD_Unknown;
+    }
+    // Otherwise the invalidation is stale (raced with a newer grant;
+    // no point-to-point order) or provably resolvable by the pending
+    // upgrade's reply: the home serializes the line, so if it still
+    // answers our in-flight upgrade permission-only, it saw us as a
+    // sharer after this invalidation's epoch — our copies are newer
+    // and stay; if it answers with data, the data grant invalidates
+    // local copies anyway. Acknowledge and keep going.
+    IcsMsg done;
+    done.type = IcsMsgType::PeWbAck;
+    done.addr = a;
+    done.srcPort = _myPort;
+    done.dstPort = msg.srcPort;
+    done.reqId = msg.reqId;
+    _ics.send(std::move(done));
+    maybeErase(a);
+}
+
+void
+L2Bank::replyFill(const IcsMsg &req, const LineData &data, bool has_data,
+                  bool exclusive, FillSource source, bool wb_decision)
+{
+    IcsMsg rsp;
+    rsp.type = exclusive ? IcsMsgType::FillX : IcsMsgType::FillS;
+    rsp.addr = req.addr;
+    rsp.srcPort = _myPort;
+    rsp.dstPort = req.l1Id;
+    rsp.l1Id = req.l1Id;
+    rsp.hasData = has_data;
+    if (has_data)
+        rsp.data = data;
+    rsp.exclusive = exclusive;
+    rsp.source = source;
+    rsp.writeBackVictim = wb_decision;
+    rsp.reqId = req.reqId;
+    _ics.send(std::move(rsp));
+}
+
+void
+L2Bank::replyUpgradeAck(const IcsMsg &req)
+{
+    IcsMsg rsp;
+    rsp.type = IcsMsgType::UpgradeAck;
+    rsp.addr = req.addr;
+    rsp.srcPort = _myPort;
+    rsp.dstPort = req.l1Id;
+    rsp.l1Id = req.l1Id;
+    rsp.source = FillSource::L2Hit;
+    rsp.reqId = req.reqId;
+    _ics.send(std::move(rsp));
+}
+
+void
+L2Bank::invalL1Sharers(Info &info, Addr addr, int except_l1)
+{
+    for (int l1 = 0; l1 < 16; ++l1) {
+        if (l1 == except_l1 || !(info.sharers & (1u << l1)))
+            continue;
+        IcsMsg inv;
+        inv.type = IcsMsgType::Inval;
+        inv.addr = addr;
+        inv.srcPort = _myPort;
+        inv.dstPort = l1;
+        _ics.send(std::move(inv));
+        info.sharers &= ~(1u << l1);
+    }
+    if (info.ownerL1 >= 0 && !(info.sharers & (1u << info.ownerL1))) {
+        info.l1Excl = false;
+        info.ownerL1 =
+            info.sharers ? std::countr_zero(info.sharers) : -1;
+    }
+}
+
+void
+L2Bank::invalL2Copy(Info &info, Addr addr)
+{
+    L2Line *l2l = _tags.find(addr);
+    if (l2l) {
+        info.nodeDirty = info.nodeDirty || l2l->dirty;
+        _tags.invalidate(*l2l);
+    }
+}
+
+void
+L2Bank::sendEngine(const IcsMsg &req, PeOp op, bool to_home,
+                   std::uint64_t dir_bits, bool has_dir)
+{
+    IcsMsg m;
+    m.type = to_home ? IcsMsgType::ToHomeEngine
+                     : IcsMsgType::ToRemoteEngine;
+    m.addr = req.addr;
+    m.peOp = op;
+    m.l1Id = req.l1Id;
+    m.reqId = req.reqId;
+    m.dirBits = dir_bits;
+    m.hasDir = has_dir;
+    m.srcPort = _myPort;
+    m.dstPort = to_home ? homeEnginePort : remoteEnginePort;
+    _ics.send(std::move(m));
+}
+
+void
+L2Bank::finishTxn(Addr addr)
+{
+    Info &info = infoFor(addr);
+    info.busy = false;
+    info.txn = Info::Txn{};
+    maybeErase(addr);
+    drainBlocked(addr);
+}
+
+void
+L2Bank::finishPeTxn(Addr addr)
+{
+    Info &info = infoFor(addr);
+    info.peActive = false;
+    info.peTxn = Info::Txn{};
+    maybeErase(addr);
+    drainBlocked(addr);
+}
+
+void
+L2Bank::drainBlocked(Addr addr)
+{
+    auto it = _info.find(lineNum(addr));
+    if (it == _info.end() || it->second.blocked.empty())
+        return;
+    // Oldest-first, but engine-initiated ops may overtake blocked L1
+    // requests (they interleave with a parked L1Engine transaction;
+    // holding them back would deadlock the engines).
+    auto &q = it->second.blocked;
+    auto pick = q.end();
+    for (auto qit = q.begin(); qit != q.end(); ++qit) {
+        if (canProcess(it->second, *qit)) {
+            pick = qit;
+            break;
+        }
+    }
+    if (pick == q.end())
+        return;
+    IcsMsg next = std::move(*pick);
+    q.erase(pick);
+    scheduleIn(_clk.cycles(1), [this, next = std::move(next)]() mutable {
+        Addr a = next.addr;
+        switch (next.type) {
+          case IcsMsgType::PeReadLocal:
+            onPeReadLocal(std::move(next));
+            break;
+          case IcsMsgType::PeInvalLocal:
+            onPeInvalLocal(std::move(next));
+            break;
+          default: {
+            Info &info = infoFor(a);
+            if (!canProcess(info, next)) {
+                info.blocked.push_front(std::move(next));
+                return;
+            }
+            bool wb_decision = false;
+            if (next.hasVictim)
+                wb_decision = handleVictim(next);
+            dispatchL1Request(std::move(next), wb_decision);
+            break;
+          }
+        }
+        drainBlocked(a);
+    });
+}
+
+} // namespace piranha

@@ -1,0 +1,184 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+
+namespace piranha {
+
+Core::Core(EventQueue &eq, std::string name, const Clock &clk,
+           L1Cache &dl1, L1Cache &il1, const CoreParams &params)
+    : SimObject(eq, std::move(name)), _clk(clk), _dl1(dl1), _il1(il1),
+      _p(params), _stats(this->name())
+{
+    if (_p.windowSize) {
+        // The instruction window bounds how much downstream work can
+        // overlap an outstanding miss; streaming workloads also
+        // overlap misses with each other (MSHR-level parallelism), so
+        // the bound is the window depth in cycles.
+        _creditCap = static_cast<double>(_clk.cycles(_p.windowSize));
+    }
+}
+
+void
+Core::regStats(StatGroup &parent)
+{
+    _stats.addScalar("busy", &statBusy, "CPU busy ticks");
+    _stats.addScalar("l2hit_stall", &statL2HitStall,
+                     "stall ticks served on chip (L2 hit / L2 fwd)");
+    _stats.addScalar("l2miss_stall", &statL2MissStall,
+                     "stall ticks served by local/remote memory");
+    _stats.addScalar("idle", &statIdle, "workload idle ticks");
+    _stats.addScalar("instructions", &statInstrs, "");
+    _stats.addScalar("loads", &statLoads, "");
+    _stats.addScalar("stores", &statStores, "");
+    _stats.addScalar("ifetches", &statIfetches, "");
+    parent.addChild(&_stats);
+}
+
+double
+Core::busyCyclesPerInstr() const
+{
+    double eff = std::min<double>(_p.issueWidth,
+                                  std::max(1.0, _p.ilp.issueIlp));
+    return 1.0 / eff;
+}
+
+void
+Core::start(InstrStream *stream)
+{
+    _stream = stream;
+    scheduleIn(0, [this] { nextOp(); });
+}
+
+void
+Core::nextOp()
+{
+    if (_done)
+        return;
+    StreamOp op = _stream->next();
+    switch (op.kind) {
+      case StreamOp::Kind::Done:
+        _done = true;
+        return;
+      case StreamOp::Kind::Idle: {
+        Tick t = _clk.cycles(op.count);
+        statIdle += static_cast<double>(t);
+        _accounted += t;
+        scheduleIn(t, [this] { nextOp(); });
+        return;
+      }
+      default:
+        fetchThenExecute(op);
+        return;
+    }
+}
+
+void
+Core::fetchThenExecute(StreamOp op)
+{
+    Addr line = lineAlign(op.pc);
+    if (line == _lastFetchLine) {
+        execute(op);
+        return;
+    }
+    _lastFetchLine = line;
+    ++statIfetches;
+    MemReq req;
+    req.op = MemOp::Ifetch;
+    req.addr = op.pc;
+    req.size = static_cast<std::uint8_t>(_p.ifetchBytes);
+    Tick issued = curTick();
+    _il1.access(req, [this, op, issued](const MemRsp &rsp) {
+        StreamOp o = op;
+        completeMem(o, issued, true, rsp);
+        execute(o);
+    });
+}
+
+void
+Core::execute(StreamOp op)
+{
+    switch (op.kind) {
+      case StreamOp::Kind::Compute: {
+        statInstrs += op.count;
+        double cycles = op.count * busyCyclesPerInstr();
+        Tick t = std::max<Tick>(
+            1, static_cast<Tick>(cycles * _clk.period()));
+        statBusy += static_cast<double>(t);
+        _accounted += t;
+        scheduleIn(t, [this] { nextOp(); });
+        return;
+      }
+      case StreamOp::Kind::Load:
+      case StreamOp::Kind::Store:
+      case StreamOp::Kind::Wh64: {
+        ++statInstrs;
+        if (op.kind == StreamOp::Kind::Load)
+            ++statLoads;
+        else
+            ++statStores;
+        MemReq req;
+        req.addr = op.addr;
+        req.size = op.size;
+        req.value = op.value;
+        req.atomic = op.atomic;
+        req.op = op.kind == StreamOp::Kind::Load    ? MemOp::Load
+                 : op.kind == StreamOp::Kind::Store ? MemOp::Store
+                                                    : MemOp::Wh64;
+        Tick issued = curTick();
+        _dl1.access(req, [this, op, issued](const MemRsp &rsp) {
+            completeMem(op, issued, false, rsp);
+            _stream->memCompleted(op, rsp.value);
+            nextOp();
+        });
+        return;
+      }
+      default:
+        panic("%s: bad op kind", name().c_str());
+    }
+}
+
+void
+Core::completeMem(const StreamOp &, Tick issued, bool ifetch,
+                  const MemRsp &rsp)
+{
+    Tick raw = curTick() - issued;
+    Tick busy = ifetch ? 0 : _clk.cycles(1); // pipeline occupancy
+    Tick stall = raw > busy ? raw - busy : 0;
+    statBusy += static_cast<double>(busy);
+    _accounted += busy;
+    chargeStall(stall, rsp.source);
+}
+
+void
+Core::chargeStall(Tick stall, FillSource source)
+{
+    if (stall == 0)
+        return;
+    // The instruction window overlaps part of the miss latency with
+    // independent downstream work (zero for the in-order core).
+    double hidden = std::min(static_cast<double>(stall) *
+                                 _p.ilp.memOverlap,
+                             _creditCap);
+    Tick charged =
+        static_cast<Tick>(std::max(0.0, static_cast<double>(stall) -
+                                            hidden));
+    _accounted += charged;
+    switch (source) {
+      case FillSource::L2Hit:
+      case FillSource::L2Fwd:
+        statL2HitStall += static_cast<double>(charged);
+        break;
+      case FillSource::MemLocal:
+      case FillSource::MemRemote:
+      case FillSource::RemoteDirty:
+        statL2MissStall += static_cast<double>(charged);
+        break;
+      default:
+        // L1/store-buffer residual latency counts as busy pipeline
+        // time.
+        statBusy += static_cast<double>(charged);
+        break;
+    }
+}
+
+} // namespace piranha

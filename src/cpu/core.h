@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CPU timing models.
+ *
+ * InOrderCore models the Piranha core (paper §2.1): single-issue,
+ * in-order, eight-stage pipeline, most instructions single-cycle,
+ * blocking caches — so every miss stalls the pipeline for its full
+ * latency. The same class with an OooParams configuration models the
+ * next-generation out-of-order baseline (Table 1: 1 GHz, 4-issue,
+ * 64-entry instruction window): wide issue raises the no-miss IPC
+ * toward the workload's ILP ceiling, and the instruction window lets
+ * the core overlap miss latency with downstream work, modeled as an
+ * overlap credit bounded by the window size — a load that completes
+ * in L cycles contributes up to overlap*L cycles of credit that
+ * subsequent busy time consumes (interval-model style).
+ *
+ * Execution time and its decomposition (CPU busy / L2-hit-class
+ * stall / L2-miss-class stall) are accounted per core and aggregated
+ * by the benchmark harness to regenerate the paper's Figure 5/8
+ * breakdowns.
+ */
+
+#ifndef PIRANHA_CPU_CORE_H
+#define PIRANHA_CPU_CORE_H
+
+#include <memory>
+
+#include "cache/l1_cache.h"
+#include "cpu/instr_stream.h"
+#include "sim/sim_object.h"
+#include "stats/stats.h"
+
+namespace piranha {
+
+/** Out-of-order capability of a core (defaults model in-order). */
+struct CoreParams
+{
+    unsigned issueWidth = 1;
+    unsigned windowSize = 0;     //!< 0: in-order (no overlap credit)
+    WorkloadIlp ilp{};           //!< workload-dependent OOO behavior
+    unsigned ifetchBytes = 4;    //!< Alpha instruction size
+};
+
+/** A CPU core driving one dL1/iL1 pair. */
+class Core : public SimObject
+{
+  public:
+    Core(EventQueue &eq, std::string name, const Clock &clk,
+         L1Cache &dl1, L1Cache &il1, const CoreParams &params);
+
+    /** Attach the instruction stream and begin execution. */
+    void start(InstrStream *stream);
+
+    /** True once the stream returned Done. */
+    bool done() const { return _done; }
+
+    /** Accounted execution time (ticks) excluding hidden latency. */
+    Tick accountedTime() const { return _accounted; }
+
+    /** Completed work units reported by the stream. */
+    std::uint64_t workDone() const
+    {
+        return _stream ? _stream->workDone() : 0;
+    }
+
+    void regStats(StatGroup &parent);
+
+    // Accounted tick breakdown (paper Fig. 5 categories).
+    Scalar statBusy;        //!< CPU busy (issue-limited) time
+    Scalar statL2HitStall;  //!< stalls served by L2 or on-chip L1s
+    Scalar statL2MissStall; //!< stalls served by (any) memory
+    Scalar statIdle;        //!< workload-declared idle (I/O waits)
+    Scalar statInstrs;
+    Scalar statLoads;
+    Scalar statStores;
+    Scalar statIfetches;
+
+  private:
+    void fetchThenExecute(StreamOp op);
+    void execute(StreamOp op);
+    void completeMem(const StreamOp &op, Tick issued, bool ifetch,
+                     const MemRsp &rsp);
+    void chargeStall(Tick stall, FillSource source);
+    void nextOp();
+    double busyCyclesPerInstr() const;
+
+    const Clock &_clk;
+    L1Cache &_dl1;
+    L1Cache &_il1;
+    CoreParams _p;
+    InstrStream *_stream = nullptr;
+
+    bool _done = false;
+    Addr _lastFetchLine = ~Addr(0);
+    Tick _accounted = 0;
+    double _credit = 0;    //!< overlap credit in ticks
+    double _creditCap = 0; //!< window-derived cap in ticks
+    StatGroup _stats;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_CPU_CORE_H

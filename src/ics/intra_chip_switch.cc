@@ -1,0 +1,112 @@
+#include "ics/intra_chip_switch.h"
+
+#include <algorithm>
+
+namespace piranha {
+
+IcsLane
+icsLaneFor(IcsMsgType t)
+{
+    switch (t) {
+      case IcsMsgType::GetS:
+      case IcsMsgType::GetX:
+      case IcsMsgType::Upgrade:
+      case IcsMsgType::Wh64Req:
+      case IcsMsgType::WbData:
+      case IcsMsgType::ToHomeEngine:
+      case IcsMsgType::ToRemoteEngine:
+        return IcsLane::Low;
+      default:
+        return IcsLane::High;
+    }
+}
+
+IntraChipSwitch::IntraChipSwitch(EventQueue &eq, std::string name,
+                                 unsigned ports, const Clock &clk,
+                                 unsigned pipe_cycles)
+    : SimObject(eq, std::move(name)), _clk(clk),
+      _pipeCycles(pipe_cycles), _ports(ports)
+{
+}
+
+void
+IntraChipSwitch::connect(int port, IcsClient *client)
+{
+    if (port < 0 || static_cast<size_t>(port) >= _ports.size())
+        fatal("ICS port %d out of range", port);
+    _ports[static_cast<size_t>(port)].client = client;
+}
+
+void
+IntraChipSwitch::send(IcsMsg msg)
+{
+    if (msg.dstPort < 0 ||
+        static_cast<size_t>(msg.dstPort) >= _ports.size())
+        panic("ICS send to bad port %d (%s)", msg.dstPort,
+              icsMsgTypeName(msg.type));
+    Port &p = _ports[static_cast<size_t>(msg.dstPort)];
+    if (!p.client)
+        panic("ICS port %d has no client", msg.dstPort);
+
+    ++statTransfers;
+    if (msg.hasData)
+        ++statDataTransfers;
+    IcsLane lane = icsLaneFor(msg.type);
+    if (lane == IcsLane::High)
+        ++statHighLane;
+
+    p.queue[static_cast<int>(lane)].push_back(std::move(msg));
+    if (!p.pumping) {
+        p.pumping = true;
+        int port = static_cast<int>(&p - _ports.data());
+        // Arbitration happens on the next edge.
+        scheduleIn(0, [this, port] { pump(port); });
+    }
+}
+
+void
+IntraChipSwitch::pump(int port)
+{
+    Port &p = _ports[static_cast<size_t>(port)];
+    auto &hi = p.queue[static_cast<int>(IcsLane::High)];
+    auto &lo = p.queue[static_cast<int>(IcsLane::Low)];
+    if (hi.empty() && lo.empty()) {
+        p.pumping = false;
+        return;
+    }
+    // High-priority lane drains first; within a lane, FIFO. This
+    // yields per-(src,dst,lane) ordering, which the coherence
+    // protocol depends on.
+    auto &q = hi.empty() ? lo : hi;
+    IcsMsg msg = std::move(q.front());
+    q.pop_front();
+
+    Tick now = curTick();
+    Tick start = std::max(now, p.freeAt);
+    Tick deliver = start + _clk.cycles(_pipeCycles);
+    p.freeAt = deliver + _clk.cycles(occupancyCycles(msg) - 1);
+    statQueueDelay.sample(static_cast<double>(start - now) /
+                          static_cast<double>(ticksPerNs));
+
+    IcsClient *client = p.client;
+    eventQueue().schedule(deliver, [client, msg = std::move(msg)] {
+        client->icsDeliver(msg);
+    });
+    // Pump the next message when the datapath frees up.
+    eventQueue().schedule(p.freeAt, [this, port] { pump(port); });
+}
+
+void
+IntraChipSwitch::regStats(StatGroup &parent)
+{
+    _stats.addScalar("transfers", &statTransfers, "total ICS transfers");
+    _stats.addScalar("data_transfers", &statDataTransfers,
+                     "transfers carrying a 64B line");
+    _stats.addScalar("high_lane", &statHighLane,
+                     "transfers on the high-priority lane");
+    _stats.addHistogram("queue_delay_ns", &statQueueDelay,
+                        "per-transfer arbitration delay");
+    parent.addChild(&_stats);
+}
+
+} // namespace piranha

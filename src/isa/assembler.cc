@@ -1,0 +1,338 @@
+#include "isa/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+namespace {
+
+struct Token
+{
+    std::string text;
+};
+
+std::vector<std::string>
+splitLines(const std::string &src)
+{
+    std::vector<std::string> lines;
+    std::stringstream ss(src);
+    std::string line;
+    while (std::getline(ss, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::string
+stripComment(const std::string &line)
+{
+    std::size_t p = line.find(';');
+    std::string s = p == std::string::npos ? line : line.substr(0, p);
+    // Trim.
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Split "op a, b, c" into mnemonic + operand strings. */
+void
+parseLine(const std::string &line, std::string &mn,
+          std::vector<std::string> &ops)
+{
+    std::size_t sp = line.find_first_of(" \t");
+    mn = line.substr(0, sp);
+    std::transform(mn.begin(), mn.end(), mn.begin(), ::tolower);
+    ops.clear();
+    if (sp == std::string::npos)
+        return;
+    std::string rest = line.substr(sp);
+    std::string cur;
+    for (char c : rest) {
+        if (c == ',') {
+            ops.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    ops.push_back(cur);
+    for (std::string &o : ops) {
+        std::size_t b = o.find_first_not_of(" \t");
+        std::size_t e = o.find_last_not_of(" \t");
+        o = b == std::string::npos ? "" : o.substr(b, e - b + 1);
+    }
+}
+
+unsigned
+parseReg(const std::string &s)
+{
+    if (s.size() < 2 || (s[0] != 'r' && s[0] != 'R'))
+        fatal("expected register, got '%s'", s.c_str());
+    unsigned n = static_cast<unsigned>(std::stoul(s.substr(1)));
+    if (n > 31)
+        fatal("register out of range: '%s'", s.c_str());
+    return n;
+}
+
+std::int64_t
+parseImm(const std::string &s)
+{
+    try {
+        return std::stoll(s, nullptr, 0);
+    } catch (const std::out_of_range &) {
+        // Large unsigned 64-bit constants (ldiq).
+        return static_cast<std::int64_t>(std::stoull(s, nullptr, 0));
+    }
+}
+
+/** Parse "disp(rN)" or "(rN)". */
+void
+parseMemOperand(const std::string &s, std::int32_t &disp, unsigned &rb)
+{
+    std::size_t lp = s.find('(');
+    std::size_t rp = s.find(')');
+    if (lp == std::string::npos || rp == std::string::npos)
+        fatal("expected disp(rN), got '%s'", s.c_str());
+    std::string d = s.substr(0, lp);
+    disp = d.empty() ? 0 : static_cast<std::int32_t>(parseImm(d));
+    rb = parseReg(s.substr(lp + 1, rp - lp - 1));
+}
+
+/** ldiq expansion: sign-corrected 16-bit chunks via lda/sll. */
+std::vector<AlphaInstr>
+expandLdiq(unsigned reg, std::uint64_t value)
+{
+    // Decompose from the LSB with sign-extension corrections.
+    std::vector<std::int32_t> chunks;
+    std::uint64_t v = value;
+    for (int i = 0; i < 4; ++i) {
+        std::int32_t c = static_cast<std::int32_t>(v & 0xffff);
+        if (c >= 0x8000)
+            c -= 0x10000;
+        chunks.push_back(c);
+        v = (v - static_cast<std::uint64_t>(c)) >> 16;
+    }
+    // Drop leading zero chunks (keep at least one).
+    while (chunks.size() > 1 && chunks.back() == 0)
+        chunks.pop_back();
+
+    std::vector<AlphaInstr> out;
+    for (std::size_t i = chunks.size(); i-- > 0;) {
+        bool first = i + 1 == chunks.size();
+        if (!first) {
+            AlphaInstr sll;
+            sll.op = AlphaOp::INTS;
+            sll.ra = reg;
+            sll.useLit = true;
+            sll.lit = 16;
+            sll.func = static_cast<std::uint8_t>(AlphaFunc::SLL);
+            sll.rc = reg;
+            out.push_back(sll);
+        }
+        AlphaInstr lda;
+        lda.op = AlphaOp::LDA;
+        lda.ra = reg;
+        lda.rb = first ? 31 : reg;
+        lda.disp = chunks[i];
+        if (!(first && chunks[i] == 0) || chunks.size() == 1)
+            out.push_back(lda);
+    }
+    return out;
+}
+
+struct Pending
+{
+    AlphaInstr instr;
+    std::string branchTarget; //!< label to resolve (branches)
+    Addr pc = 0;
+};
+
+} // namespace
+
+AlphaProgram
+assembleAlpha(const std::string &source, Addr base)
+{
+    AlphaProgram prog;
+    prog.base = base;
+    std::vector<Pending> code;
+    Addr pc = base;
+
+    auto emit = [&](const AlphaInstr &i, const std::string &target = "") {
+        Pending p;
+        p.instr = i;
+        p.branchTarget = target;
+        p.pc = pc;
+        code.push_back(p);
+        pc += 4;
+    };
+
+    for (const std::string &raw : splitLines(source)) {
+        std::string line = stripComment(raw);
+        while (!line.empty()) {
+            std::size_t colon = line.find(':');
+            std::size_t sp = line.find_first_of(" \t");
+            if (colon != std::string::npos &&
+                (sp == std::string::npos || colon < sp)) {
+                prog.symbols[line.substr(0, colon)] = pc;
+                line = stripComment(line.substr(colon + 1));
+                continue;
+            }
+            break;
+        }
+        if (line.empty())
+            continue;
+
+        std::string mn;
+        std::vector<std::string> ops;
+        parseLine(line, mn, ops);
+
+        AlphaInstr i;
+        if (mn == "ldiq") {
+            for (const AlphaInstr &x :
+                 expandLdiq(parseReg(ops[0]), static_cast<std::uint64_t>(
+                                                  parseImm(ops[1]))))
+                emit(x);
+            continue;
+        }
+        if (mn == "nop") {
+            i.op = AlphaOp::INTL;
+            i.ra = 31;
+            i.rb = 31;
+            i.rc = 31;
+            i.func = static_cast<std::uint8_t>(AlphaFunc::BIS);
+            emit(i);
+            continue;
+        }
+        if (mn == "call_pal") {
+            i.op = AlphaOp::CALL_PAL;
+            std::string f = ops[0];
+            std::transform(f.begin(), f.end(), f.begin(), ::tolower);
+            if (f == "halt")
+                i.disp = static_cast<std::int32_t>(AlphaPal::HALT);
+            else if (f == "putc")
+                i.disp = static_cast<std::int32_t>(AlphaPal::PUTC);
+            else if (f == "putint")
+                i.disp = static_cast<std::int32_t>(AlphaPal::PUTINT);
+            else
+                fatal("unknown PAL function '%s'", f.c_str());
+            emit(i);
+            continue;
+        }
+        if (mn == "wh64") {
+            i.op = AlphaOp::MISC;
+            i.ra = 31;
+            std::int32_t d;
+            parseMemOperand(ops[0], d, i.rb);
+            i.disp = static_cast<std::int32_t>(kWh64Func);
+            emit(i);
+            continue;
+        }
+        if (mn == "ret") {
+            i.op = AlphaOp::JMP;
+            i.ra = 31;
+            i.rb = 26;
+            emit(i);
+            continue;
+        }
+        if (mn == "jmp" || mn == "jsr") {
+            i.op = AlphaOp::JMP;
+            i.ra = mn == "jsr" ? 26 : parseReg(ops[0]);
+            std::int32_t d;
+            parseMemOperand(ops.back(), d, i.rb);
+            emit(i);
+            continue;
+        }
+
+        static const std::map<std::string, AlphaOp> mem_ops = {
+            {"lda", AlphaOp::LDA},   {"ldah", AlphaOp::LDAH},
+            {"ldl", AlphaOp::LDL},   {"ldq", AlphaOp::LDQ},
+            {"ldq_l", AlphaOp::LDQ_L}, {"stl", AlphaOp::STL},
+            {"stq", AlphaOp::STQ},   {"stq_c", AlphaOp::STQ_C},
+        };
+        static const std::map<std::string, AlphaOp> br_ops = {
+            {"br", AlphaOp::BR},   {"bsr", AlphaOp::BSR},
+            {"beq", AlphaOp::BEQ}, {"blt", AlphaOp::BLT},
+            {"ble", AlphaOp::BLE}, {"bne", AlphaOp::BNE},
+            {"bge", AlphaOp::BGE}, {"bgt", AlphaOp::BGT},
+        };
+        static const std::map<std::string,
+                              std::pair<AlphaOp, AlphaFunc>>
+            op_ops = {
+                {"addq", {AlphaOp::INTA, AlphaFunc::ADDQ}},
+                {"subq", {AlphaOp::INTA, AlphaFunc::SUBQ}},
+                {"mulq", {AlphaOp::INTA, AlphaFunc::MULQ}},
+                {"cmpeq", {AlphaOp::INTA, AlphaFunc::CMPEQ}},
+                {"cmplt", {AlphaOp::INTA, AlphaFunc::CMPLT}},
+                {"cmple", {AlphaOp::INTA, AlphaFunc::CMPLE}},
+                {"cmpult", {AlphaOp::INTA, AlphaFunc::CMPULT}},
+                {"and", {AlphaOp::INTL, AlphaFunc::AND}},
+                {"bis", {AlphaOp::INTL, AlphaFunc::BIS}},
+                {"xor", {AlphaOp::INTL, AlphaFunc::XOR}},
+                {"sll", {AlphaOp::INTS, AlphaFunc::SLL}},
+                {"srl", {AlphaOp::INTS, AlphaFunc::SRL}},
+                {"sra", {AlphaOp::INTS, AlphaFunc::SRA}},
+            };
+
+        if (auto it = mem_ops.find(mn); it != mem_ops.end()) {
+            i.op = it->second;
+            i.ra = parseReg(ops[0]);
+            parseMemOperand(ops[1], i.disp, i.rb);
+            emit(i);
+            continue;
+        }
+        if (auto it = br_ops.find(mn); it != br_ops.end()) {
+            i.op = it->second;
+            if (mn == "br" && ops.size() == 1) {
+                i.ra = 31;
+                emit(i, ops[0]);
+            } else if (mn == "bsr") {
+                i.ra = ops.size() == 2 ? parseReg(ops[0]) : 26;
+                emit(i, ops.back());
+            } else {
+                i.ra = parseReg(ops[0]);
+                emit(i, ops[1]);
+            }
+            continue;
+        }
+        if (auto it = op_ops.find(mn); it != op_ops.end()) {
+            i.op = it->second.first;
+            i.func = static_cast<std::uint8_t>(it->second.second);
+            i.ra = parseReg(ops[0]);
+            if (!ops[1].empty() && ops[1][0] == '#') {
+                i.useLit = true;
+                i.lit = static_cast<std::uint8_t>(
+                    parseImm(ops[1].substr(1)));
+            } else {
+                i.rb = parseReg(ops[1]);
+            }
+            i.rc = parseReg(ops[2]);
+            emit(i);
+            continue;
+        }
+        fatal("unknown mnemonic '%s'", mn.c_str());
+    }
+
+    // Second pass: resolve branch displacements (relative to pc+4, in
+    // instructions).
+    prog.words.reserve(code.size());
+    for (const Pending &p : code) {
+        AlphaInstr i = p.instr;
+        if (!p.branchTarget.empty()) {
+            Addr target = prog.symbol(p.branchTarget);
+            i.disp = static_cast<std::int32_t>(
+                (static_cast<std::int64_t>(target) -
+                 static_cast<std::int64_t>(p.pc) - 4) /
+                4);
+        }
+        prog.words.push_back(i.encode());
+    }
+    return prog;
+}
+
+} // namespace piranha

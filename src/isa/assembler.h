@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-pass assembler for the Alpha subset.
+ *
+ * Accepts the conventional syntax (`addq r1, r2, r3`, literal form
+ * `addq r1, #8, r3`, `ldq r2, 16(r5)`, `beq r1, loop`, `wh64 (r4)`,
+ * `call_pal halt|putc|putint`, `ret`), labels (`loop:`), `;` comments, and the `ldiq rN, <imm64>` pseudo-instruction that
+ * expands into an lda/sll chain building an arbitrary 64-bit
+ * constant. The output is a flat image of 32-bit instruction words
+ * plus a symbol table; callers load the image into the simulated
+ * memory, where the functional core fetches it through the coherent
+ * hierarchy.
+ */
+
+#ifndef PIRANHA_ISA_ASSEMBLER_H
+#define PIRANHA_ISA_ASSEMBLER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "sim/logging.h"
+
+namespace piranha {
+
+/** An assembled program image. */
+struct AlphaProgram
+{
+    Addr base = 0;
+    std::vector<std::uint32_t> words;
+    std::map<std::string, Addr> symbols;
+
+    Addr
+    symbol(const std::string &name) const
+    {
+        auto it = symbols.find(name);
+        if (it == symbols.end())
+            fatal("undefined symbol '%s'", name.c_str());
+        return it->second;
+    }
+};
+
+/** Assemble @p source at base address @p base (fatal on errors). */
+AlphaProgram assembleAlpha(const std::string &source, Addr base);
+
+} // namespace piranha
+
+#endif // PIRANHA_ISA_ASSEMBLER_H

@@ -1,0 +1,191 @@
+#include "isa/isa.h"
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+bool
+alphaIsMemory(AlphaOp op)
+{
+    switch (op) {
+      case AlphaOp::LDA:
+      case AlphaOp::LDAH:
+      case AlphaOp::LDL:
+      case AlphaOp::LDQ:
+      case AlphaOp::LDQ_L:
+      case AlphaOp::STL:
+      case AlphaOp::STQ:
+      case AlphaOp::STQ_C:
+      case AlphaOp::MISC:
+      case AlphaOp::JMP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+alphaIsBranch(AlphaOp op)
+{
+    switch (op) {
+      case AlphaOp::BR:
+      case AlphaOp::BSR:
+      case AlphaOp::BEQ:
+      case AlphaOp::BLT:
+      case AlphaOp::BLE:
+      case AlphaOp::BNE:
+      case AlphaOp::BGE:
+      case AlphaOp::BGT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+alphaIsOperate(AlphaOp op)
+{
+    return op == AlphaOp::INTA || op == AlphaOp::INTL ||
+           op == AlphaOp::INTS;
+}
+
+std::uint32_t
+AlphaInstr::encode() const
+{
+    std::uint32_t w = static_cast<std::uint32_t>(op) << 26;
+    if (op == AlphaOp::CALL_PAL)
+        return w | (static_cast<std::uint32_t>(disp) & 0x3ffffff);
+    w |= (ra & 31u) << 21;
+    if (alphaIsBranch(op))
+        return w | (static_cast<std::uint32_t>(disp) & 0x1fffff);
+    if (alphaIsMemory(op)) {
+        w |= (rb & 31u) << 16;
+        return w | (static_cast<std::uint32_t>(disp) & 0xffff);
+    }
+    // Operate format.
+    if (useLit)
+        w |= (static_cast<std::uint32_t>(lit) << 13) | (1u << 12);
+    else
+        w |= (rb & 31u) << 16;
+    w |= (static_cast<std::uint32_t>(func) & 0x7f) << 5;
+    w |= rc & 31u;
+    return w;
+}
+
+std::optional<AlphaInstr>
+AlphaInstr::decode(std::uint32_t word)
+{
+    AlphaInstr i;
+    auto opc = static_cast<AlphaOp>((word >> 26) & 0x3f);
+    i.op = opc;
+    if (opc == AlphaOp::CALL_PAL) {
+        i.disp = static_cast<std::int32_t>(word & 0x3ffffff);
+        return i;
+    }
+    i.ra = (word >> 21) & 31;
+    if (alphaIsBranch(opc)) {
+        std::int32_t d = static_cast<std::int32_t>(word & 0x1fffff);
+        if (d & 0x100000)
+            d |= ~0x1fffff; // sign-extend 21 bits
+        i.disp = d;
+        return i;
+    }
+    if (alphaIsMemory(opc)) {
+        i.rb = (word >> 16) & 31;
+        std::int32_t d = static_cast<std::int32_t>(word & 0xffff);
+        if (d & 0x8000)
+            d |= ~0xffff; // sign-extend 16 bits
+        i.disp = d;
+        return i;
+    }
+    if (alphaIsOperate(opc)) {
+        i.useLit = (word >> 12) & 1;
+        if (i.useLit)
+            i.lit = static_cast<std::uint8_t>((word >> 13) & 0xff);
+        else
+            i.rb = (word >> 16) & 31;
+        i.func = static_cast<std::uint8_t>((word >> 5) & 0x7f);
+        i.rc = word & 31;
+        return i;
+    }
+    return std::nullopt;
+}
+
+std::string
+AlphaInstr::disasm() const
+{
+    auto mem_name = [this]() -> const char * {
+        switch (op) {
+          case AlphaOp::LDA: return "lda";
+          case AlphaOp::LDAH: return "ldah";
+          case AlphaOp::LDL: return "ldl";
+          case AlphaOp::LDQ: return "ldq";
+          case AlphaOp::LDQ_L: return "ldq_l";
+          case AlphaOp::STL: return "stl";
+          case AlphaOp::STQ: return "stq";
+          case AlphaOp::STQ_C: return "stq_c";
+          default: return "?";
+        }
+    };
+    switch (op) {
+      case AlphaOp::CALL_PAL:
+        return strFormat("call_pal %#x", disp);
+      case AlphaOp::MISC:
+        return (disp & 0xffff) == kWh64Func
+                   ? strFormat("wh64 (r%u)", rb)
+                   : "misc?";
+      case AlphaOp::JMP:
+        return strFormat("jmp r%u, (r%u)", ra, rb);
+      case AlphaOp::BR:
+        return strFormat("br r%u, %+d", ra, disp);
+      case AlphaOp::BSR:
+        return strFormat("bsr r%u, %+d", ra, disp);
+      case AlphaOp::BEQ:
+      case AlphaOp::BLT:
+      case AlphaOp::BLE:
+      case AlphaOp::BNE:
+      case AlphaOp::BGE:
+      case AlphaOp::BGT: {
+        const char *n = op == AlphaOp::BEQ   ? "beq"
+                        : op == AlphaOp::BLT ? "blt"
+                        : op == AlphaOp::BLE ? "ble"
+                        : op == AlphaOp::BNE ? "bne"
+                        : op == AlphaOp::BGE ? "bge"
+                                             : "bgt";
+        return strFormat("%s r%u, %+d", n, ra, disp);
+      }
+      case AlphaOp::INTA:
+      case AlphaOp::INTL:
+      case AlphaOp::INTS: {
+        const char *n = "op?";
+        auto f = static_cast<AlphaFunc>(func);
+        if (op == AlphaOp::INTA) {
+            n = f == AlphaFunc::ADDQ     ? "addq"
+                : f == AlphaFunc::SUBQ   ? "subq"
+                : f == AlphaFunc::MULQ   ? "mulq"
+                : f == AlphaFunc::CMPEQ  ? "cmpeq"
+                : f == AlphaFunc::CMPLT  ? "cmplt"
+                : f == AlphaFunc::CMPLE  ? "cmple"
+                : f == AlphaFunc::CMPULT ? "cmpult"
+                                         : "inta?";
+        } else if (op == AlphaOp::INTL) {
+            n = f == AlphaFunc::AND   ? "and"
+                : f == AlphaFunc::BIS ? "bis"
+                : f == AlphaFunc::XOR ? "xor"
+                                      : "intl?";
+        } else {
+            n = f == AlphaFunc::SLL   ? "sll"
+                : f == AlphaFunc::SRL ? "srl"
+                : f == AlphaFunc::SRA ? "sra"
+                                      : "ints?";
+        }
+        if (useLit)
+            return strFormat("%s r%u, #%u, r%u", n, ra, lit, rc);
+        return strFormat("%s r%u, r%u, r%u", n, ra, rb, rc);
+      }
+      default:
+        return strFormat("%s r%u, %d(r%u)", mem_name(), ra, disp, rb);
+    }
+}
+
+} // namespace piranha

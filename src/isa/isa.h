@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Alpha-subset instruction set (paper §2.1).
+ *
+ * The Piranha core executes the Alpha instruction set; binary
+ * compatibility with the Alpha software base was a key design
+ * decision. This module implements a working subset sufficient for
+ * multithreaded kernels — integer operate (register and literal
+ * forms), memory (including the wh64 write hint and the ldq_l/stq_c
+ * load-locked/store-conditional pair), branches, jumps, and CALL_PAL
+ * — using the genuine Alpha instruction formats and primary opcodes:
+ *
+ *   memory    opcode[31:26] ra[25:21] rb[20:16] disp[15:0]
+ *   branch    opcode[31:26] ra[25:21] disp[20:0]
+ *   operate   opcode[31:26] ra[25:21] rb[20:16]/lit[20:13]
+ *             litflag[12] func[11:5] rc[4:0]
+ *
+ * Programs assemble into 32-bit words that live in the *simulated*
+ * memory: the functional core decodes what the coherent memory system
+ * returns, so instruction storage, i-cache coherence, and data all
+ * flow through the modeled hardware.
+ */
+
+#ifndef PIRANHA_ISA_ISA_H
+#define PIRANHA_ISA_ISA_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/types.h"
+
+namespace piranha {
+
+/** Primary Alpha opcodes used by the subset. */
+enum class AlphaOp : std::uint8_t
+{
+    CALL_PAL = 0x00,
+    LDA = 0x08,
+    LDAH = 0x09,
+    MISC = 0x18, //!< wh64 and friends (disp selects)
+    JMP = 0x1A,  //!< jmp/jsr/ret (hint bits select)
+    INTA = 0x10, //!< integer arithmetic
+    INTL = 0x11, //!< integer logical
+    INTS = 0x12, //!< integer shift
+    LDL = 0x28,
+    LDQ = 0x29,
+    LDQ_L = 0x2B,
+    STL = 0x2C,
+    STQ = 0x2D,
+    STQ_C = 0x2F,
+    BR = 0x30,
+    BSR = 0x34,
+    BEQ = 0x39,
+    BLT = 0x3A,
+    BLE = 0x3B,
+    BNE = 0x3D,
+    BGE = 0x3E,
+    BGT = 0x3F,
+};
+
+/** Operate-format function codes (within INTA/INTL/INTS). */
+enum class AlphaFunc : std::uint8_t
+{
+    // INTA
+    ADDQ = 0x20,
+    SUBQ = 0x29,
+    MULQ = 0x30, // (MULQ is opcode 0x13 on real Alpha; folded here)
+    CMPEQ = 0x2D,
+    CMPLT = 0x4D & 0x7F,
+    CMPLE = 0x6D & 0x7F,
+    CMPULT = 0x1D,
+    // INTL
+    AND = 0x00,
+    BIS = 0x20,
+    XOR = 0x40,
+    // INTS
+    SLL = 0x39,
+    SRL = 0x34,
+    SRA = 0x3C,
+};
+
+/** PALcode functions of the subset (CALL_PAL disp). */
+enum class AlphaPal : std::uint32_t
+{
+    HALT = 0x0000,
+    PUTC = 0x0080,   //!< write low byte of r16 to the console
+    PUTINT = 0x0081, //!< write r16 as decimal to the console
+};
+
+/** WH64 is MISC-format with this function selector. */
+inline constexpr std::uint16_t kWh64Func = 0xF800;
+
+/** A decoded instruction. */
+struct AlphaInstr
+{
+    AlphaOp op = AlphaOp::CALL_PAL;
+    unsigned ra = 31, rb = 31, rc = 31;
+    bool useLit = false;
+    std::uint8_t lit = 0;
+    std::uint8_t func = 0;
+    std::int32_t disp = 0; //!< memory 16-bit / branch 21-bit / pal 26
+
+    /** Encode to the 32-bit instruction word. */
+    std::uint32_t encode() const;
+
+    /** Decode; nullopt if the word is not in the subset. */
+    static std::optional<AlphaInstr> decode(std::uint32_t word);
+
+    /** Human-readable disassembly. */
+    std::string disasm() const;
+};
+
+/** True for memory-format opcodes. */
+bool alphaIsMemory(AlphaOp op);
+/** True for branch-format opcodes. */
+bool alphaIsBranch(AlphaOp op);
+/** True for operate-format opcodes. */
+bool alphaIsOperate(AlphaOp op);
+
+} // namespace piranha
+
+#endif // PIRANHA_ISA_ISA_H

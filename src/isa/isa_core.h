@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Functional Alpha-subset interpreter as an instruction stream.
+ *
+ * An IsaCore executes an assembled program whose words live in the
+ * simulated memory: instruction bits are fetched functionally from
+ * the backing stores (the timing core issues the i-cache traffic per
+ * line), and load/store values travel through the full coherent
+ * memory system — a store by one core is visible to another only via
+ * the modeled protocol, so the ISA demos exercise end-to-end
+ * coherence with real code.
+ *
+ * ldq_l/stq_c: the timing traffic is real (loads, exclusive stores);
+ * the reservation itself is enforced at the functional layer — a
+ * core whose ldq_l finds another core's reservation on the line spins
+ * (with timing) until it is released. This serializes LL/SC critical
+ * sections exactly, which is the behavior a correct retry loop
+ * converges to (documented simplification, DESIGN.md §4).
+ */
+
+#ifndef PIRANHA_ISA_ISA_CORE_H
+#define PIRANHA_ISA_ISA_CORE_H
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/instr_stream.h"
+#include "isa/assembler.h"
+#include "mem/coherence_types.h"
+
+namespace piranha {
+
+/** Shared execution context for the cores running one program. */
+struct IsaMachine
+{
+    /** Functional fetch of a 32-bit word from simulated memory. */
+    std::function<std::uint32_t(Addr)> fetchWord;
+
+    /** Line-granularity LL/SC reservations: line -> core id. */
+    std::unordered_map<Addr, int> reservations;
+};
+
+/** One hardware context executing Alpha-subset code. */
+class IsaCore : public InstrStream
+{
+  public:
+    /**
+     * @param entry initial PC
+     * @param sp    initial stack pointer (r30)
+     * @param arg   initial argument register (r16)
+     */
+    IsaCore(IsaMachine &machine, int id, Addr entry, Addr sp = 0,
+            std::uint64_t arg = 0);
+
+    StreamOp next() override;
+    void memCompleted(const StreamOp &op, std::uint64_t value) override;
+    std::uint64_t workDone() const override { return _halted ? 1 : 0; }
+
+    bool halted() const { return _halted; }
+    std::uint64_t reg(unsigned r) const { return r == 31 ? 0 : _r[r]; }
+    void setReg(unsigned r, std::uint64_t v);
+    Addr pc() const { return _pc; }
+    /** Console output produced via CALL_PAL putc/putint. */
+    const std::string &console() const { return _console; }
+    std::uint64_t instructionsRetired() const { return _retired; }
+
+  private:
+    StreamOp executeUntilBoundary();
+    StreamOp makeCompute(unsigned count, Addr pc);
+
+    IsaMachine &_machine;
+    int _id;
+    std::uint64_t _r[32] = {};
+    Addr _pc;
+    bool _halted = false;
+
+    bool _waitingLoad = false;
+    unsigned _loadReg = 31;
+    bool _loadIsWord = false;    //!< ldl: sign-extend 32 bits
+    Addr _scRelease = ~Addr(0);  //!< reservation to drop on ordering
+
+    std::uint64_t _retired = 0;
+    std::string _console;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_ISA_ISA_CORE_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Functional memory contents for one node.
+ *
+ * Lines materialize on first touch (sparse map), so simulating the
+ * paper's multi-hundred-megabyte database working sets costs memory
+ * proportional to the lines actually referenced. Each line stores its
+ * 64 data bytes plus the 44 directory bits that live in the freed ECC
+ * bits (paper §2.5.2).
+ */
+
+#ifndef PIRANHA_MEM_BACKING_STORE_H
+#define PIRANHA_MEM_BACKING_STORE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/coherence_types.h"
+#include "sim/types.h"
+
+namespace piranha {
+
+/** Sparse line-granularity memory with in-ECC directory bits. */
+class BackingStore
+{
+  public:
+    struct Line
+    {
+        LineData data;
+        std::uint64_t dirBits = 0;
+    };
+
+    /** Access (and materialize) the line containing @p addr. */
+    Line &
+    line(Addr addr)
+    {
+        return _lines[lineNum(addr)];
+    }
+
+    /** Read-only access; returns a zero line if never touched. */
+    Line
+    peek(Addr addr) const
+    {
+        auto it = _lines.find(lineNum(addr));
+        return it == _lines.end() ? Line{} : it->second;
+    }
+
+    /** Number of materialized lines (footprint statistics). */
+    std::size_t touchedLines() const { return _lines.size(); }
+
+    /** Convenience for test setup: write a 64-bit word functionally. */
+    void
+    poke64(Addr addr, std::uint64_t value)
+    {
+        line(addr).data.write(static_cast<unsigned>(addr & (lineBytes - 1)),
+                              8, value);
+    }
+
+    std::uint64_t
+    peek64(Addr addr) const
+    {
+        return peek(addr).data.read(
+            static_cast<unsigned>(addr & (lineBytes - 1)), 8);
+    }
+
+  private:
+    std::unordered_map<Addr, Line> _lines;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_MEM_BACKING_STORE_H

@@ -1,0 +1,59 @@
+#include "mem/coherence_types.h"
+
+#include <atomic>
+
+namespace piranha {
+
+const char *
+fillSourceName(FillSource s)
+{
+    switch (s) {
+      case FillSource::StoreBuffer: return "store-buffer";
+      case FillSource::L1: return "L1";
+      case FillSource::L2Hit: return "L2-hit";
+      case FillSource::L2Fwd: return "L2-fwd";
+      case FillSource::MemLocal: return "mem-local";
+      case FillSource::MemRemote: return "mem-remote";
+      case FillSource::RemoteDirty: return "remote-dirty";
+    }
+    return "?";
+}
+
+const char *
+icsMsgTypeName(IcsMsgType t)
+{
+    switch (t) {
+      case IcsMsgType::GetS: return "GetS";
+      case IcsMsgType::GetX: return "GetX";
+      case IcsMsgType::Upgrade: return "Upgrade";
+      case IcsMsgType::Wh64Req: return "Wh64Req";
+      case IcsMsgType::WbData: return "WbData";
+      case IcsMsgType::FillS: return "FillS";
+      case IcsMsgType::FillX: return "FillX";
+      case IcsMsgType::UpgradeAck: return "UpgradeAck";
+      case IcsMsgType::Inval: return "Inval";
+      case IcsMsgType::FwdGetS: return "FwdGetS";
+      case IcsMsgType::FwdGetX: return "FwdGetX";
+      case IcsMsgType::PeerFillS: return "PeerFillS";
+      case IcsMsgType::PeerFillX: return "PeerFillX";
+      case IcsMsgType::FwdDone: return "FwdDone";
+      case IcsMsgType::ToHomeEngine: return "ToHomeEngine";
+      case IcsMsgType::ToRemoteEngine: return "ToRemoteEngine";
+      case IcsMsgType::PeData: return "PeData";
+      case IcsMsgType::PeReadLocal: return "PeReadLocal";
+      case IcsMsgType::PeReadLocalRsp: return "PeReadLocalRsp";
+      case IcsMsgType::PeInvalLocal: return "PeInvalLocal";
+      case IcsMsgType::PeWbAck: return "PeWbAck";
+      case IcsMsgType::PeComplete: return "PeComplete";
+    }
+    return "?";
+}
+
+std::uint64_t
+nextReqId()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace piranha

@@ -1,0 +1,235 @@
+#include "mem/directory.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+DirEntry::DirEntry(unsigned num_nodes)
+    : _state(DirState::Uncached), _numNodes(num_nodes)
+{
+    if (num_nodes == 0 || num_nodes > 1024)
+        fatal("directory supports 1..1024 nodes (got %u)", num_nodes);
+}
+
+DirEntry
+DirEntry::unpack(std::uint64_t bits, unsigned num_nodes)
+{
+    DirEntry e(num_nodes);
+    e._state = static_cast<DirState>((bits >> sharerBits) & 0x3);
+    std::uint64_t body = bits & ((1ULL << sharerBits) - 1);
+    switch (e._state) {
+      case DirState::Uncached:
+        break;
+      case DirState::SharedPtr:
+      case DirState::Exclusive: {
+        // Low 40 bits: four 10-bit pointer slots; slot value 0x3ff
+        // (impossible node id in a 1K system... actually 1023 is a
+        // valid id) -- so we use bits 40..41 as a 2-bit count instead.
+        unsigned count = static_cast<unsigned>((body >> 40) & 0x3) + 1;
+        if (e._state == DirState::Exclusive)
+            count = 1;
+        for (unsigned i = 0; i < count; ++i) {
+            NodeId n = static_cast<NodeId>((body >> (i * ptrBits)) &
+                                           ((1u << ptrBits) - 1));
+            e._ptrs.push_back(n);
+        }
+        break;
+      }
+      case DirState::SharedCv:
+        e._cv = body;
+        break;
+    }
+    return e;
+}
+
+std::uint64_t
+DirEntry::pack() const
+{
+    std::uint64_t body = 0;
+    switch (_state) {
+      case DirState::Uncached:
+        break;
+      case DirState::SharedPtr:
+      case DirState::Exclusive: {
+        if (_ptrs.empty() || _ptrs.size() > maxPointers)
+            panic("directory pointer count %zu out of range",
+                  _ptrs.size());
+        for (size_t i = 0; i < _ptrs.size(); ++i)
+            body |= static_cast<std::uint64_t>(_ptrs[i]) << (i * ptrBits);
+        body |= static_cast<std::uint64_t>(_ptrs.size() - 1) << 40;
+        break;
+      }
+      case DirState::SharedCv:
+        body = _cv;
+        break;
+    }
+    return body | (static_cast<std::uint64_t>(_state) << sharerBits);
+}
+
+bool
+DirEntry::mayBeSharer(NodeId node) const
+{
+    switch (_state) {
+      case DirState::Uncached:
+        return false;
+      case DirState::SharedPtr:
+      case DirState::Exclusive:
+        return std::find(_ptrs.begin(), _ptrs.end(), node) != _ptrs.end();
+      case DirState::SharedCv:
+        return (_cv >> (node / groupSize(_numNodes))) & 1;
+    }
+    return false;
+}
+
+NodeId
+DirEntry::owner() const
+{
+    if (_state != DirState::Exclusive)
+        panic("directory owner() in non-exclusive state %d",
+              static_cast<int>(_state));
+    return _ptrs[0];
+}
+
+std::vector<NodeId>
+DirEntry::sharerList() const
+{
+    std::vector<NodeId> out;
+    switch (_state) {
+      case DirState::Uncached:
+        break;
+      case DirState::SharedPtr:
+      case DirState::Exclusive:
+        out = _ptrs;
+        break;
+      case DirState::SharedCv: {
+        unsigned gs = groupSize(_numNodes);
+        for (unsigned g = 0; g < sharerBits; ++g) {
+            if (!((_cv >> g) & 1))
+                continue;
+            for (unsigned n = g * gs;
+                 n < (g + 1) * gs && n < _numNodes; ++n) {
+                out.push_back(static_cast<NodeId>(n));
+            }
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+unsigned
+DirEntry::sharerCount() const
+{
+    return static_cast<unsigned>(sharerList().size());
+}
+
+void
+DirEntry::switchToCoarse()
+{
+    std::uint64_t cv = 0;
+    unsigned gs = groupSize(_numNodes);
+    for (NodeId n : _ptrs)
+        cv |= 1ULL << (n / gs);
+    _ptrs.clear();
+    _cv = cv;
+    _state = DirState::SharedCv;
+}
+
+void
+DirEntry::addSharer(NodeId node)
+{
+    switch (_state) {
+      case DirState::Uncached:
+        _state = DirState::SharedPtr;
+        _ptrs.assign(1, node);
+        break;
+      case DirState::Exclusive:
+        // Owner demotes to a sharer alongside the new one.
+        _state = DirState::SharedPtr;
+        if (_ptrs[0] != node)
+            _ptrs.push_back(node);
+        break;
+      case DirState::SharedPtr:
+        if (std::find(_ptrs.begin(), _ptrs.end(), node) != _ptrs.end())
+            return;
+        if (_ptrs.size() == maxPointers) {
+            // Past 4 remote sharing nodes: switch representation.
+            switchToCoarse();
+            _cv |= 1ULL << (node / groupSize(_numNodes));
+        } else {
+            _ptrs.push_back(node);
+        }
+        break;
+      case DirState::SharedCv:
+        _cv |= 1ULL << (node / groupSize(_numNodes));
+        break;
+    }
+}
+
+void
+DirEntry::removeSharer(NodeId node)
+{
+    switch (_state) {
+      case DirState::Uncached:
+        break;
+      case DirState::Exclusive:
+        if (_ptrs[0] == node)
+            clear();
+        break;
+      case DirState::SharedPtr: {
+        auto it = std::find(_ptrs.begin(), _ptrs.end(), node);
+        if (it != _ptrs.end())
+            _ptrs.erase(it);
+        if (_ptrs.empty())
+            clear();
+        break;
+      }
+      case DirState::SharedCv:
+        // Coarse vector cannot remove a single node: other nodes in
+        // the same group may still share. This imprecision is inherent
+        // to the representation (extra invalidations are harmless).
+        break;
+    }
+}
+
+void
+DirEntry::setExclusive(NodeId node)
+{
+    _state = DirState::Exclusive;
+    _ptrs.assign(1, node);
+    _cv = 0;
+}
+
+void
+DirEntry::clear()
+{
+    _state = DirState::Uncached;
+    _ptrs.clear();
+    _cv = 0;
+}
+
+bool
+DirEntry::operator==(const DirEntry &o) const
+{
+    if (_state != o._state || _numNodes != o._numNodes)
+        return false;
+    switch (_state) {
+      case DirState::Uncached:
+        return true;
+      case DirState::SharedPtr: {
+        auto a = _ptrs, b = o._ptrs;
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        return a == b;
+      }
+      case DirState::Exclusive:
+        return _ptrs[0] == o._ptrs[0];
+      case DirState::SharedCv:
+        return _cv == o._cv;
+    }
+    return false;
+}
+
+} // namespace piranha

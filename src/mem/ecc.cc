@@ -1,0 +1,118 @@
+#include "mem/ecc.h"
+
+#include <bit>
+
+namespace piranha {
+
+/*
+ * Standard Hamming SECDED construction: data bit i (0..255) is mapped
+ * to code position i+1 shifted past the power-of-two positions used by
+ * the 9 Hamming check bits; an overall parity bit (bit 9 of the check
+ * word) covers the data plus the Hamming bits, giving double-error
+ * detection.
+ */
+
+namespace {
+
+/** Map data bit index (0..255) to its non-power-of-two code position. */
+constexpr std::uint16_t
+codePos(unsigned i)
+{
+    unsigned pos = i + 1;
+    // Skip power-of-two positions; scanning p in increasing order is
+    // correct because pos only grows.
+    for (unsigned p = 1; p <= 512; p <<= 1) {
+        if (p <= pos)
+            ++pos;
+    }
+    return static_cast<std::uint16_t>(pos);
+}
+
+struct PosTable
+{
+    std::array<std::uint16_t, 256> pos{};
+    constexpr PosTable()
+    {
+        for (unsigned i = 0; i < 256; ++i)
+            pos[i] = codePos(i);
+    }
+};
+
+constexpr PosTable kPos;
+
+/** XOR of code positions of all set data bits (the 9 Hamming bits). */
+std::uint16_t
+hammingOf(const EccBlock &data)
+{
+    std::uint16_t h = 0;
+    for (unsigned w = 0; w < 4; ++w) {
+        std::uint64_t v = data[w];
+        while (v) {
+            unsigned b = static_cast<unsigned>(std::countr_zero(v));
+            v &= v - 1;
+            h ^= kPos.pos[w * 64 + b];
+        }
+    }
+    return static_cast<std::uint16_t>(h & 0x1ff);
+}
+
+/** Parity (mod 2) of all data bits. */
+unsigned
+dataParity(const EccBlock &data)
+{
+    unsigned p = 0;
+    for (std::uint64_t w : data)
+        p ^= static_cast<unsigned>(std::popcount(w)) & 1u;
+    return p;
+}
+
+} // namespace
+
+std::uint16_t
+Secded256::encode(const EccBlock &data)
+{
+    std::uint16_t hamming = hammingOf(data);
+    unsigned parity = dataParity(data) ^
+        (static_cast<unsigned>(std::popcount(hamming)) & 1u);
+    return static_cast<std::uint16_t>(hamming | (parity << 9));
+}
+
+std::uint16_t
+Secded256::syndrome(const EccBlock &data, std::uint16_t check)
+{
+    return static_cast<std::uint16_t>(hammingOf(data) ^ (check & 0x1ff));
+}
+
+EccResult
+Secded256::decode(EccBlock &data, std::uint16_t check)
+{
+    std::uint16_t h_recv = check & 0x1ff;
+    unsigned p_recv = (check >> 9) & 1;
+    std::uint16_t syn = syndrome(data, check);
+    // Parity over everything received (data + Hamming bits + parity
+    // bit) is even in the error-free and even-error cases.
+    unsigned parity_all = dataParity(data) ^
+        (static_cast<unsigned>(std::popcount(h_recv)) & 1u) ^ p_recv;
+
+    if (syn == 0 && parity_all == 0)
+        return EccResult::Ok;
+
+    if (parity_all == 0) {
+        // Non-zero syndrome but even overall parity: double error.
+        return EccResult::Uncorrectable;
+    }
+    // Odd overall parity: exactly one bit flipped somewhere.
+    if (syn == 0)
+        return EccResult::CorrectedCheck; // the parity bit itself
+    if ((syn & (syn - 1)) == 0)
+        return EccResult::CorrectedCheck; // one Hamming check bit
+    for (unsigned i = 0; i < 256; ++i) {
+        if (kPos.pos[i] == syn) {
+            data[i / 64] ^= 1ULL << (i % 64);
+            return EccResult::CorrectedData;
+        }
+    }
+    return EccResult::Uncorrectable;
+}
+
+} // namespace piranha

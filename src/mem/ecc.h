@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SECDED ECC computed at 256-bit granularity (paper §2.5.2).
+ *
+ * Commodity memory systems compute SECDED across each 64-bit word,
+ * which costs 8 check bits per word (64 check bits per 64-byte line).
+ * Piranha instead computes ECC across 256-bit boundaries: a 256-bit
+ * block needs 9 Hamming bits + 1 overall parity bit = 10 check bits,
+ * so a 64-byte line consumes only 2 x 10 = 20 of its 64 ECC bits and
+ * the remaining 44 bits hold the coherence directory with virtually no
+ * memory space overhead.
+ *
+ * The implementation is a genuine Hamming(extended) code: encode
+ * produces the 10 check bits, decode corrects any single-bit error in
+ * the 256-bit data or the check bits and detects double-bit errors.
+ */
+
+#ifndef PIRANHA_MEM_ECC_H
+#define PIRANHA_MEM_ECC_H
+
+#include <array>
+#include <cstdint>
+
+namespace piranha {
+
+/** 256-bit data block as four 64-bit words (little-endian word order). */
+using EccBlock = std::array<std::uint64_t, 4>;
+
+/** Outcome of an ECC check. */
+enum class EccResult
+{
+    Ok,             //!< no error
+    CorrectedData,  //!< single-bit data error fixed in place
+    CorrectedCheck, //!< single-bit error was in the check bits
+    Uncorrectable,  //!< double-bit (or worse) error detected
+};
+
+/** SECDED codec over 256-bit blocks. */
+class Secded256
+{
+  public:
+    /** Number of check bits per 256-bit block. */
+    static constexpr unsigned checkBits = 10;
+
+    /** Compute the 10 check bits for @p data. */
+    static std::uint16_t encode(const EccBlock &data);
+
+    /**
+     * Verify @p data against @p check; corrects single-bit errors in
+     * @p data in place.
+     */
+    static EccResult decode(EccBlock &data, std::uint16_t check);
+
+  private:
+    static std::uint16_t syndrome(const EccBlock &data,
+                                  std::uint16_t check);
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_MEM_ECC_H

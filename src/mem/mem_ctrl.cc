@@ -1,0 +1,78 @@
+#include "mem/mem_ctrl.h"
+
+namespace piranha {
+
+MemCtrl::MemCtrl(EventQueue &eq, std::string name, BackingStore &store,
+                 const RdramParams &rp)
+    : SimObject(eq, std::move(name)), _store(store), _chan(rp),
+      _stats(this->name())
+{
+}
+
+void
+MemCtrl::regStats(StatGroup &parent)
+{
+    _stats.addScalar("reads", &statReads, "line reads");
+    _stats.addScalar("writes", &statWrites, "line writes (posted)");
+    _stats.addScalar("page_hits", &_chan.statPageHits,
+                     "RDRAM open-page hits");
+    _stats.addScalar("page_misses", &_chan.statPageMisses,
+                     "RDRAM page activations");
+    parent.addChild(&_stats);
+}
+
+void
+MemCtrl::readLine(Addr addr, MemReadFn done)
+{
+    ++statReads;
+    _queue.push_back(Op{lineAlign(addr), true, std::move(done)});
+    if (!_busy)
+        pump();
+}
+
+void
+MemCtrl::writeLine(Addr addr, const LineData *data,
+                   const std::uint64_t *dir_bits)
+{
+    ++statWrites;
+    // Posted: apply functionally now; charge channel time via queue.
+    BackingStore::Line &l = _store.line(addr);
+    if (data)
+        l.data = *data;
+    if (dir_bits)
+        l.dirBits = *dir_bits;
+    _queue.push_back(Op{lineAlign(addr), false, nullptr});
+    if (!_busy)
+        pump();
+}
+
+void
+MemCtrl::pump()
+{
+    if (_queue.empty()) {
+        _busy = false;
+        return;
+    }
+    _busy = true;
+    Op op = std::move(_queue.front());
+    _queue.pop_front();
+
+    Tick now = curTick();
+    Tick lat = _chan.access(op.addr, now);
+    Tick occupancy = _chan.transferTime();
+
+    if (op.isRead) {
+        // The requester restarts on the critical word; the rest of
+        // the line streams during the channel occupancy window.
+        Tick done_at = now + lat;
+        BackingStore::Line snapshot = _store.line(op.addr);
+        MemReadFn done = std::move(op.done);
+        eventQueue().schedule(done_at,
+                              [done = std::move(done), snapshot] {
+                                  done(snapshot.data, snapshot.dirBits);
+                              });
+    }
+    scheduleIn(occupancy, [this] { pump(); });
+}
+
+} // namespace piranha

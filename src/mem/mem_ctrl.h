@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memory controller engine (paper §2.4).
+ *
+ * One controller (and one Rambus channel) is attached to each L2
+ * bank. The controller does not connect to the intra-chip switch:
+ * all memory access is controlled by and routed through the owning L2
+ * controller, at cache-line granularity, for both data and the
+ * associated directory (which travels in the line's ECC bits).
+ *
+ * Reads complete asynchronously after the RDRAM access latency plus
+ * any channel queueing; writes are posted (functionally applied at
+ * enqueue, channel occupancy charged).
+ */
+
+#ifndef PIRANHA_MEM_MEM_CTRL_H
+#define PIRANHA_MEM_MEM_CTRL_H
+
+#include <deque>
+#include <functional>
+
+#include "mem/backing_store.h"
+#include "mem/rdram.h"
+#include "sim/sim_object.h"
+#include "stats/stats.h"
+
+namespace piranha {
+
+/** Completion callback for a line read: data plus directory bits. */
+using MemReadFn =
+    std::function<void(const LineData &, std::uint64_t dir_bits)>;
+
+/** The per-bank memory controller. */
+class MemCtrl : public SimObject
+{
+  public:
+    MemCtrl(EventQueue &eq, std::string name, BackingStore &store,
+            const RdramParams &rp = RdramParams{});
+
+    /** Read one line (data + directory); @p done fires on completion. */
+    void readLine(Addr addr, MemReadFn done);
+
+    /**
+     * Posted write of one line. Either part may be null to leave it
+     * unchanged (directory-only updates are common).
+     */
+    void writeLine(Addr addr, const LineData *data,
+                   const std::uint64_t *dir_bits);
+
+    RdramChannel &channel() { return _chan; }
+
+    void regStats(StatGroup &parent);
+
+    Scalar statReads;
+    Scalar statWrites;
+
+  private:
+    struct Op
+    {
+        Addr addr;
+        bool isRead;
+        MemReadFn done;
+    };
+
+    void pump();
+
+    BackingStore &_store;
+    RdramChannel _chan;
+    std::deque<Op> _queue;
+    bool _busy = false;
+    StatGroup _stats;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_MEM_MEM_CTRL_H

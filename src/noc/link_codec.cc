@@ -1,0 +1,133 @@
+#include "noc/link_codec.h"
+
+#include <array>
+#include <bit>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+namespace {
+
+/**
+ * Binomial coefficients C(n, k) for n <= 22, computed once. Small and
+ * exact in 32 bits (C(22,11) = 705432).
+ */
+struct ChooseTable
+{
+    std::array<std::array<std::uint32_t, 23>, 23> c{};
+
+    constexpr ChooseTable()
+    {
+        for (unsigned n = 0; n <= 22; ++n) {
+            c[n][0] = 1;
+            for (unsigned k = 1; k <= n; ++k)
+                c[n][k] = c[n - 1][k - 1] + (k <= n - 1 ? c[n - 1][k] : 0);
+        }
+    }
+};
+
+constexpr ChooseTable kChoose;
+
+constexpr std::uint32_t
+choose(unsigned n, unsigned k)
+{
+    if (k > n)
+        return 0;
+    return kChoose.c[n][k];
+}
+
+} // namespace
+
+bool
+LinkCodec::isBalanced(std::uint32_t w)
+{
+    return std::popcount(w & 0x3fffffu) == static_cast<int>(onesPerWord);
+}
+
+/*
+ * Combinatorial number system over the 21 upper wires (bit 0 is always
+ * 1 in the canonical half of the code): a rank in [0, C(21,10))
+ * identifies the positions of the 10 remaining ones among bits 1..21.
+ * Ranks are assigned in colexicographic order of the bit positions.
+ */
+std::uint32_t
+LinkCodec::unrank(std::uint32_t rank)
+{
+    std::uint32_t word = 1; // bit 0 set
+    unsigned ones = 10;
+    for (int pos = 20; ones > 0; --pos) {
+        // Place the highest remaining one at (pos+1) if rank reaches
+        // the block of combinations that include it.
+        std::uint32_t block = choose(static_cast<unsigned>(pos), ones);
+        if (rank >= block) {
+            rank -= block;
+            word |= 1u << (pos + 1);
+            --ones;
+        }
+        if (pos == 0 && ones > 0)
+            panic("link codec unrank underflow");
+    }
+    return word;
+}
+
+std::uint32_t
+LinkCodec::rank(std::uint32_t word)
+{
+    std::uint32_t r = 0;
+    unsigned ones = 10;
+    for (int pos = 20; pos >= 0 && ones > 0; --pos) {
+        if (word & (1u << (pos + 1))) {
+            r += choose(static_cast<unsigned>(pos), ones);
+            --ones;
+        }
+    }
+    return r;
+}
+
+std::uint32_t
+LinkCodec::encode(std::uint16_t data, std::uint8_t aux, bool invert_bit)
+{
+    std::uint32_t payload =
+        static_cast<std::uint32_t>(data) |
+        (static_cast<std::uint32_t>(aux & 0x3) << 16);
+    std::uint32_t word = unrank(payload);
+    if (invert_bit)
+        word = ~word & 0x3fffffu;
+    return word;
+}
+
+std::optional<LinkWord>
+LinkCodec::decode(std::uint32_t wire_word)
+{
+    wire_word &= 0x3fffffu;
+    if (!isBalanced(wire_word))
+        return std::nullopt;
+    bool inverted = (wire_word & 1u) == 0;
+    std::uint32_t canonical = inverted ? (~wire_word & 0x3fffffu)
+                                       : wire_word;
+    std::uint32_t payload = rank(canonical);
+    if (payload >= (1u << payloadBits))
+        return std::nullopt;
+    return LinkWord{static_cast<std::uint16_t>(payload & 0xffff),
+                    static_cast<std::uint8_t>((payload >> 16) & 0x3),
+                    inverted};
+}
+
+std::uint16_t
+crc16(const std::uint8_t *bytes, std::size_t len, std::uint16_t seed)
+{
+    std::uint16_t crc = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= static_cast<std::uint16_t>(bytes[i]) << 8;
+        for (int b = 0; b < 8; ++b) {
+            if (crc & 0x8000)
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+            else
+                crc = static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+} // namespace piranha

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DC-balanced interconnect link encoding (paper §2.6.1).
+ *
+ * Each Piranha channel is 22 wires per direction. The signaling scheme
+ * encodes 19 bits into a 22-bit DC-balanced word: exactly 11 of the 22
+ * wires carry '1' at all times, so the net current flow along a channel
+ * is zero and a reference voltage for the differential receivers can be
+ * derived at the termination.
+ *
+ * 16 data bits travel with 2 extra bits (CRC/flow control/error
+ * recovery), i.e. 18 payload bits. By construction, the set of code
+ * words used for those 18 bits contains no two complementary elements;
+ * the 19th bit — generated randomly by the transmitter — is encoded by
+ * inverting all 22 bits, making the code inversion-insensitive and
+ * statistically DC-balancing each individual wire in the time domain
+ * (enabling fiber-optic ribbons and transformer coupling).
+ *
+ * Implementation: the 18-bit payload indexes the lexicographically
+ * ordered set of 22-bit words that have popcount 11 *and* bit 0 set
+ * (C(21,10) = 352716 >= 2^18 such words exist; a word and its
+ * complement differ in bit 0, so the set is complement-free). Ranking
+ * and unranking use the combinatorial number system, so no exhaustive
+ * tables are required.
+ */
+
+#ifndef PIRANHA_NOC_LINK_CODEC_H
+#define PIRANHA_NOC_LINK_CODEC_H
+
+#include <cstdint>
+#include <optional>
+
+namespace piranha {
+
+/** Result of decoding one 22-bit link word. */
+struct LinkWord
+{
+    std::uint16_t data;     //!< 16 data bits
+    std::uint8_t aux;       //!< 2 CRC/flow-control bits
+    bool inverted;          //!< the randomly generated 19th bit
+};
+
+/**
+ * Encoder/decoder for the 19-in-22 DC-balanced link code.
+ * All methods are static and stateless.
+ */
+class LinkCodec
+{
+  public:
+    /** Number of physical wires per direction. */
+    static constexpr unsigned wireCount = 22;
+    /** Ones per code word (DC balance). */
+    static constexpr unsigned onesPerWord = 11;
+    /** Payload bits per word excluding the inversion bit. */
+    static constexpr unsigned payloadBits = 18;
+
+    /**
+     * Encode 16 data bits + 2 aux bits + the random inversion bit into
+     * a 22-bit word with exactly 11 ones.
+     */
+    static std::uint32_t encode(std::uint16_t data, std::uint8_t aux,
+                                bool invert_bit);
+
+    /**
+     * Decode a 22-bit word. Returns std::nullopt if the word is not a
+     * valid code word (wrong popcount or out-of-range rank), which a
+     * receiver treats as a transmission error and recovers via the
+     * piggyback handshake.
+     */
+    static std::optional<LinkWord> decode(std::uint32_t wire_word);
+
+    /** True if @p w has exactly 11 of its 22 low bits set. */
+    static bool isBalanced(std::uint32_t w);
+
+  private:
+    static std::uint32_t unrank(std::uint32_t rank);
+    static std::uint32_t rank(std::uint32_t word);
+};
+
+/**
+ * CRC-16/CCITT-FALSE used at the packet layer for the piggyback
+ * error-recovery handshake (the 2 per-word aux bits carry flow control
+ * and a rolling packet-CRC window in hardware; the model checks whole
+ * packets).
+ */
+std::uint16_t crc16(const std::uint8_t *bytes, std::size_t len,
+                    std::uint16_t seed = 0xffff);
+
+} // namespace piranha
+
+#endif // PIRANHA_NOC_LINK_CODEC_H

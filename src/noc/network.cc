@@ -1,0 +1,183 @@
+#include "noc/network.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace piranha {
+
+Network::Network(EventQueue &eq, std::string name, const NetworkParams &p)
+    : SimObject(eq, std::move(name)), _p(p)
+{
+}
+
+void
+Network::regStats(StatGroup &parent)
+{
+    _stats.addScalar("packets", &statPackets, "packets injected");
+    _stats.addScalar("long_packets", &statLongPackets,
+                     "packets carrying a 64B data section");
+    _stats.addScalar("hops", &statHops, "total channel traversals");
+    _stats.addScalar("misroutes", &statMisroutes,
+                     "hot-potato non-optimal hops");
+    _stats.addHistogram("latency_ns", &statLatency,
+                        "end-to-end packet latency");
+    parent.addChild(&_stats);
+}
+
+Tick
+Network::icCycles(unsigned n) const
+{
+    return static_cast<Tick>(n * 1e6 / _p.icClockMhz);
+}
+
+void
+Network::addNode(NodeId node, NetDeliverFn deliver, unsigned channels)
+{
+    Node &n = _nodes[node];
+    n.deliver = std::move(deliver);
+    n.maxChannels = channels;
+}
+
+void
+Network::connect(NodeId a, NodeId b)
+{
+    Node &na = _nodes.at(a);
+    Node &nb = _nodes.at(b);
+    if (na.channels.size() >= na.maxChannels ||
+        nb.channels.size() >= nb.maxChannels)
+        fatal("node %u or %u out of interconnect channels", a, b);
+    na.channels.push_back(Channel{b});
+    nb.channels.push_back(Channel{a});
+}
+
+void
+Network::finalizeRoutes()
+{
+    // BFS from every node over the channel graph.
+    for (auto &[id, node] : _nodes) {
+        node.nextHop.clear();
+        std::deque<NodeId> frontier{id};
+        std::unordered_map<NodeId, NodeId> first; // dest -> first hop
+        std::unordered_map<NodeId, bool> seen;
+        seen[id] = true;
+        while (!frontier.empty()) {
+            NodeId cur = frontier.front();
+            frontier.pop_front();
+            for (const Channel &c : _nodes.at(cur).channels) {
+                if (seen[c.to])
+                    continue;
+                seen[c.to] = true;
+                first[c.to] = cur == id ? c.to : first[cur];
+                frontier.push_back(c.to);
+            }
+        }
+        node.nextHop = std::move(first);
+    }
+}
+
+void
+Network::inject(NetPacket pkt)
+{
+    ++statPackets;
+    if (pkt.isLong())
+        ++statLongPackets;
+    Tick injected = curTick();
+    NodeId src = pkt.src;
+    // Output-queue fall-through (single cycle when the router is
+    // ready; transit traffic has priority, modeled in channel
+    // backlog).
+    scheduleIn(nsToTicks(_p.oqNs), [this, pkt = std::move(pkt), src,
+                                    injected]() mutable {
+        hop(std::move(pkt), src, injected);
+    });
+}
+
+void
+Network::hop(NetPacket pkt, NodeId at, Tick injected)
+{
+    Node &node = _nodes.at(at);
+    if (pkt.dst == at) {
+        // Input queue: interpret the type field through the
+        // disposition vector and hand to the target module.
+        statLatency.sample(
+            static_cast<double>(curTick() - injected) /
+            static_cast<double>(ticksPerNs));
+        scheduleIn(nsToTicks(_p.iqNs),
+                   [fn = node.deliver, pkt = std::move(pkt)] {
+                       fn(pkt);
+                   });
+        return;
+    }
+    auto rit = node.nextHop.find(pkt.dst);
+    if (rit == node.nextHop.end())
+        panic("network: no route %u -> %u", at, pkt.dst);
+    NodeId preferred = rit->second;
+
+    Channel *chan = nullptr;
+    for (Channel &c : node.channels)
+        if (c.to == preferred)
+            chan = &c;
+    if (!chan)
+        panic("network: next hop %u not a neighbor of %u", preferred,
+              at);
+
+    Tick now = curTick();
+    Tick backlog = chan->busyUntil > now ? chan->busyUntil - now : 0;
+    if (backlog > icCycles(_p.misrouteThresholdIc) &&
+        pkt.age < _p.maxAge && node.channels.size() > 1) {
+        // Hot potato: deflect to a random alternate channel with a
+        // shorter backlog; the age field escalates priority so the
+        // packet eventually takes the optimal path.
+        Channel &alt = node.channels[_rng.below(
+            static_cast<std::uint32_t>(node.channels.size()))];
+        if (alt.to != preferred && alt.busyUntil < chan->busyUntil) {
+            ++statMisroutes;
+            ++pkt.age;
+            chan = &alt;
+        }
+    }
+
+    Tick start = std::max(now, chan->busyUntil);
+    Tick occupancy = icCycles(pkt.icCycles());
+    chan->busyUntil = start + occupancy;
+    Tick arrive = start + occupancy + nsToTicks(_p.linkNs);
+    ++statHops;
+    NodeId to = chan->to;
+    eventQueue().schedule(arrive, [this, pkt = std::move(pkt), to,
+                                   injected]() mutable {
+        hop(std::move(pkt), to, injected);
+    });
+}
+
+void
+Network::buildFullyConnected(Network &net)
+{
+    std::vector<NodeId> ids;
+    for (const auto &[id, _] : net._nodes)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        for (std::size_t j = i + 1; j < ids.size(); ++j)
+            net.connect(ids[i], ids[j]);
+    net.finalizeRoutes();
+}
+
+void
+Network::buildRing(Network &net)
+{
+    std::vector<NodeId> ids;
+    for (const auto &[id, _] : net._nodes)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    if (ids.size() < 2)
+        return;
+    if (ids.size() == 2) {
+        net.connect(ids[0], ids[1]);
+    } else {
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            net.connect(ids[i], ids[(i + 1) % ids.size()]);
+    }
+    net.finalizeRoutes();
+}
+
+} // namespace piranha

@@ -1,0 +1,62 @@
+#include "noc/packet.h"
+
+namespace piranha {
+
+const char *
+netMsgTypeName(NetMsgType t)
+{
+    switch (t) {
+      case NetMsgType::ReqS: return "ReqS";
+      case NetMsgType::ReqX: return "ReqX";
+      case NetMsgType::ReqUpgrade: return "ReqUpgrade";
+      case NetMsgType::ReqWh64: return "ReqWh64";
+      case NetMsgType::FwdS: return "FwdS";
+      case NetMsgType::FwdX: return "FwdX";
+      case NetMsgType::Inval: return "Inval";
+      case NetMsgType::InvalAck: return "InvalAck";
+      case NetMsgType::RepS: return "RepS";
+      case NetMsgType::RepX: return "RepX";
+      case NetMsgType::RepUpgrade: return "RepUpgrade";
+      case NetMsgType::FwdRepS: return "FwdRepS";
+      case NetMsgType::FwdRepX: return "FwdRepX";
+      case NetMsgType::ShareWb: return "ShareWb";
+      case NetMsgType::Wb: return "Wb";
+      case NetMsgType::WbAck: return "WbAck";
+    }
+    return "?";
+}
+
+VirtualLane
+netLaneFor(NetMsgType t)
+{
+    switch (t) {
+      case NetMsgType::ReqS:
+      case NetMsgType::ReqX:
+      case NetMsgType::ReqUpgrade:
+      case NetMsgType::ReqWh64:
+        return VirtualLane::L;
+      default:
+        // Forwarded requests, replies and write-backs use the
+        // high-priority lane (write-backs explicitly so, §2.5.3).
+        return VirtualLane::H;
+    }
+}
+
+bool
+netIsReplyClass(NetMsgType t)
+{
+    switch (t) {
+      case NetMsgType::RepS:
+      case NetMsgType::RepX:
+      case NetMsgType::RepUpgrade:
+      case NetMsgType::FwdRepS:
+      case NetMsgType::FwdRepX:
+      case NetMsgType::InvalAck:
+      case NetMsgType::WbAck:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace piranha

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Inter-node packet format (paper §2.6).
+ *
+ * The system interconnect supports two packet types: the Short format
+ * (128 bits) for data-less transactions and the Long format (128-bit
+ * header + 64-byte data section); they occupy a channel for 2 or 10
+ * interconnect clock cycles respectively. Three virtual lanes (I/O,
+ * L, H) avoid protocol deadlock without NAKs: requests to a home node
+ * travel on the low-priority lane, while forwarded requests, replies
+ * and write-backs travel on the high-priority lane.
+ *
+ * The protocol message vocabulary has exactly 16 types, matching the
+ * 4-bit packet-type field that indexes the input queue's disposition
+ * vector and the 4-bit condition code OR-ed into microcode
+ * next-instruction addresses.
+ */
+
+#ifndef PIRANHA_NOC_PACKET_H
+#define PIRANHA_NOC_PACKET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/coherence_types.h"
+#include "sim/types.h"
+
+namespace piranha {
+
+/** The 16 inter-node coherence message types. */
+enum class NetMsgType : std::uint8_t
+{
+    ReqS = 0,     //!< read request to home
+    ReqX = 1,     //!< read-exclusive request to home
+    ReqUpgrade = 2, //!< exclusive (requester holds a shared copy)
+    ReqWh64 = 3,  //!< exclusive-without-data (Alpha write-hint)
+    FwdS = 4,     //!< home forwards a read to the exclusive owner
+    FwdX = 5,     //!< home forwards a read-exclusive to the owner
+    Inval = 6,    //!< cruise-missile invalidation visiting a node set
+    InvalAck = 7, //!< final node of a CMI chain acks the requester
+    RepS = 8,     //!< data reply, shared
+    RepX = 9,     //!< data reply, exclusive (may be eager)
+    RepUpgrade = 10, //!< permission-only reply
+    FwdRepS = 11, //!< owner-to-requester data (reply forwarding)
+    FwdRepX = 12, //!< owner-to-requester exclusive data
+    ShareWb = 13, //!< owner-to-home data write-back on a FwdS
+    Wb = 14,      //!< owner write-back / replacement
+    WbAck = 15,   //!< home acknowledges a write-back
+};
+
+/** Human-readable message type name. */
+const char *netMsgTypeName(NetMsgType t);
+
+/** Virtual lanes (paper: I/O, L, H). */
+enum class VirtualLane : std::uint8_t
+{
+    IO = 0,
+    L = 1,
+    H = 2,
+};
+
+/** Lane assignment: requests to home use L, everything else H. */
+VirtualLane netLaneFor(NetMsgType t);
+
+/**
+ * Reply-class messages complete a transaction held in a waiting TSRF
+ * entry at the requester; all other types start protocol handlers.
+ */
+bool netIsReplyClass(NetMsgType t);
+
+/** One inter-node packet. */
+struct NetPacket
+{
+    NetMsgType type = NetMsgType::ReqS;
+    Addr addr = 0;
+
+    NodeId src = 0;
+    NodeId dst = 0;
+    NodeId requester = 0; //!< original requester (forwards, invals)
+
+    bool hasData = false;
+    LineData data;
+    bool dirty = false;     //!< write-back data differs from memory
+    bool exclusive = false; //!< reply grants exclusivity
+
+    int ackCount = 0;       //!< invalidation acks the requester gathers
+    bool expectFwd = false; //!< WbAck: a forwarded request is inbound
+    bool retainShared = false; //!< Wb: node keeps shared copies
+
+    /** Remaining nodes a cruise-missile invalidation must visit. */
+    std::vector<NodeId> cmiRoute;
+
+    std::uint64_t reqId = 0;
+    unsigned age = 0; //!< hot-potato misroute count (priority aging)
+
+    /** Short packets are 128 bits; Long adds a 512-bit data section. */
+    bool isLong() const { return hasData; }
+
+    /** Channel occupancy in interconnect clock cycles (2 or 10). */
+    unsigned icCycles() const { return isLong() ? 10 : 2; }
+
+    VirtualLane lane() const { return netLaneFor(type); }
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_NOC_PACKET_H

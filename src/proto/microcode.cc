@@ -1,0 +1,141 @@
+#include "proto/microcode.h"
+
+namespace piranha {
+
+void
+MicroAssembler::label(const std::string &name)
+{
+    if (_labels.count(name))
+        panic("duplicate microcode label '%s'", name.c_str());
+    _labels[name] = static_cast<std::uint16_t>(_code.size());
+}
+
+void
+MicroAssembler::op(MicroOp o, MicroAction act)
+{
+    Pending p;
+    p.instr.op = o;
+    p.instr.action = std::move(act);
+    _code.push_back(std::move(p));
+}
+
+void
+MicroAssembler::test(MicroTest t,
+                     const std::map<unsigned, std::string> &branches)
+{
+    Pending p;
+    p.instr.op = MicroOp::TEST;
+    p.instr.test = std::move(t);
+    p.branches = branches;
+    p.isBranch = true;
+    _code.push_back(std::move(p));
+}
+
+void
+MicroAssembler::receive(const std::map<unsigned, std::string> &branches)
+{
+    Pending p;
+    p.instr.op = MicroOp::RECEIVE;
+    p.branches = branches;
+    p.isBranch = true;
+    for (const auto &[cc, _] : branches)
+        p.instr.waitMask |= static_cast<std::uint16_t>(1u << cc);
+    _code.push_back(std::move(p));
+}
+
+void
+MicroAssembler::lreceive(const std::map<unsigned, std::string> &branches)
+{
+    Pending p;
+    p.instr.op = MicroOp::LRECEIVE;
+    p.branches = branches;
+    p.isBranch = true;
+    for (const auto &[cc, _] : branches)
+        p.instr.waitMask |= static_cast<std::uint16_t>(1u << cc);
+    _code.push_back(std::move(p));
+}
+
+void
+MicroAssembler::jump(const std::string &target)
+{
+    Pending p;
+    p.instr.op = MicroOp::MOVE;
+    p.fallthrough = target;
+    _code.push_back(std::move(p));
+}
+
+void
+MicroAssembler::halt(MicroAction final_act)
+{
+    Pending p;
+    p.instr.op = MicroOp::MOVE;
+    p.instr.action = std::move(final_act);
+    p.instr.halt = true;
+    _code.push_back(std::move(p));
+}
+
+MicroProgram
+MicroAssembler::finalize()
+{
+    MicroProgram prog;
+    // First pass: straight-line instructions occupy the low addresses
+    // in emission order; every branch gets a 16-aligned successor
+    // block appended after the code so a 4-bit condition can be OR-ed
+    // into the next-address field.
+    std::size_t base = _code.size();
+    std::size_t block_base = (base + 15) & ~std::size_t(15);
+    std::size_t nblocks = 0;
+    for (const auto &p : _code)
+        nblocks += p.isBranch ? 1 : 0;
+    std::size_t total = block_base + nblocks * 16;
+    if (total > memWords)
+        panic("microcode exceeds %zu words (%zu)", memWords, total);
+
+    prog.mem.resize(total);
+    auto resolve = [&](const std::string &name) -> std::uint16_t {
+        auto it = _labels.find(name);
+        if (it == _labels.end())
+            panic("undefined microcode label '%s'", name.c_str());
+        return it->second;
+    };
+
+    std::size_t next_block = block_base;
+    for (std::size_t i = 0; i < _code.size(); ++i) {
+        Pending &p = _code[i];
+        MicroInstr instr = std::move(p.instr);
+        if (p.isBranch) {
+            // Allocate the successor block; used condition codes get
+            // alias slots that transfer to their targets at no cost,
+            // unused codes trap.
+            auto blk = static_cast<std::uint16_t>(next_block);
+            next_block += 16;
+            instr.next = blk;
+            for (const auto &[cc, target] : p.branches) {
+                MicroInstr alias;
+                alias.op = MicroOp::MOVE;
+                alias.alias = true;
+                alias.next = resolve(target);
+                prog.mem[blk + cc] = std::move(alias);
+            }
+            for (unsigned cc = 0; cc < 16; ++cc) {
+                if (!p.branches.count(cc)) {
+                    MicroInstr trap;
+                    trap.op = MicroOp::MOVE;
+                    trap.alias = true;
+                    trap.next = 0x3ff; // invalid: engine panics
+                    prog.mem[blk + cc] = std::move(trap);
+                }
+            }
+        } else if (!p.fallthrough.empty()) {
+            instr.next = resolve(p.fallthrough);
+        } else {
+            instr.next = static_cast<std::uint16_t>(i + 1);
+        }
+        prog.mem[i] = std::move(instr);
+    }
+    for (auto &[name, addr] : _labels)
+        prog.entries[name] = addr;
+    return prog;
+}
+
+} // namespace piranha

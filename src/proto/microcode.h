@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Microcode infrastructure for the protocol engines (paper §2.5.1).
+ *
+ * The home and remote engines are microprogrammable controllers in
+ * the style of the S3.mp protocol engines. The microcode memory
+ * supports 1024 21-bit instructions; each instruction consists of a
+ * 3-bit opcode, two 4-bit arguments, and a 10-bit address of the next
+ * instruction. Seven instruction types exist: SEND, RECEIVE, LSEND
+ * (to local node), LRECEIVE (from local node), TEST, SET, and MOVE.
+ * RECEIVE, LRECEIVE and TEST behave as multiway conditional branches
+ * with up to 16 successors, achieved by OR-ing a 4-bit condition code
+ * into the least significant bits of the next-instruction address.
+ *
+ * The actual protocol is specified at a slightly higher level with
+ * symbolic arguments and C-style code blocks, and an assembler maps
+ * it onto the microcode memory — here, the "C-style code blocks" are
+ * C++ lambdas attached to instructions, and the MicroAssembler
+ * resolves labels, allocates the 16-aligned successor blocks that the
+ * OR-based branching requires, and packs the 21-bit encodings.
+ * Successor slots are address aliases (the hardware fetches the
+ * target instruction directly), so they cost no extra cycles.
+ */
+
+#ifndef PIRANHA_PROTO_MICROCODE_H
+#define PIRANHA_PROTO_MICROCODE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+struct TsrfEntry;
+
+/** The seven architectural microinstruction types (3-bit opcode). */
+enum class MicroOp : std::uint8_t
+{
+    SEND = 0,     //!< emit a packet to the interconnect
+    RECEIVE = 1,  //!< await/branch on an interconnect message
+    LSEND = 2,    //!< emit a message to the local node (via the ICS)
+    LRECEIVE = 3, //!< await/branch on a local message
+    TEST = 4,     //!< branch on protocol state
+    SET = 5,      //!< update protocol state
+    MOVE = 6,     //!< move data between TSRF registers / halt
+};
+
+/** Semantic payload of SEND/LSEND/SET/MOVE instructions. */
+using MicroAction = std::function<void(TsrfEntry &)>;
+/** Condition evaluation of TEST instructions (returns 0..15). */
+using MicroTest = std::function<unsigned(TsrfEntry &)>;
+
+/** One decoded microinstruction. */
+struct MicroInstr
+{
+    MicroOp op = MicroOp::MOVE;
+    std::uint8_t arg0 = 0;
+    std::uint8_t arg1 = 0;
+    std::uint16_t next = 0; //!< 10-bit next-instruction address
+
+    MicroAction action;       //!< SEND/LSEND/SET/MOVE
+    MicroTest test;           //!< TEST
+    std::uint16_t waitMask = 0; //!< RECEIVE/LRECEIVE: accepted types
+    bool halt = false;        //!< MOVE with halt retires the thread
+    bool alias = false;       //!< successor-block slot (zero cost)
+
+    /** Pack the 21-bit architectural encoding. */
+    std::uint32_t
+    packed() const
+    {
+        return (static_cast<std::uint32_t>(op) << 18) |
+               (static_cast<std::uint32_t>(arg0 & 0xf) << 14) |
+               (static_cast<std::uint32_t>(arg1 & 0xf) << 10) |
+               (next & 0x3ff);
+    }
+};
+
+/** A finalized microcode memory image. */
+struct MicroProgram
+{
+    std::vector<MicroInstr> mem;
+    std::map<std::string, std::uint16_t> entries;
+
+    std::uint16_t
+    entry(const std::string &name) const
+    {
+        auto it = entries.find(name);
+        if (it == entries.end())
+            panic("no microcode entry '%s'", name.c_str());
+        return it->second;
+    }
+
+    /** Architectural (non-alias) instruction count. */
+    std::size_t
+    instructionCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &i : mem)
+            n += i.alias ? 0 : 1;
+        return n;
+    }
+};
+
+/**
+ * Two-pass assembler: emit instructions with symbolic labels, then
+ * finalize() resolves branches into aligned successor blocks and
+ * checks the 1024-instruction capacity.
+ */
+class MicroAssembler
+{
+  public:
+    static constexpr std::size_t memWords = 1024;
+
+    /** Define a label (and entry point) at the next address. */
+    void label(const std::string &name);
+
+    /** Sequential instruction; falls through. */
+    void op(MicroOp o, MicroAction act);
+
+    /** TEST multiway branch: cc -> label. */
+    void test(MicroTest t,
+              const std::map<unsigned, std::string> &branches);
+
+    /** RECEIVE multiway branch on message-type condition codes. */
+    void receive(const std::map<unsigned, std::string> &branches);
+
+    /** LRECEIVE multiway branch on local-message condition codes. */
+    void lreceive(const std::map<unsigned, std::string> &branches);
+
+    /** Unconditional transfer (assembled as MOVE). */
+    void jump(const std::string &target);
+
+    /** Retire the thread (MOVE with halt semantics). */
+    void halt(MicroAction final_act = nullptr);
+
+    /** Resolve labels, build successor blocks, pack. */
+    MicroProgram finalize();
+
+  private:
+    struct Pending
+    {
+        MicroInstr instr;
+        std::string fallthrough;          //!< label for `next` if set
+        std::map<unsigned, std::string> branches; //!< multiway targets
+        bool isBranch = false;
+    };
+
+    std::vector<Pending> _code;
+    std::map<std::string, std::uint16_t> _labels;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_PROTO_MICROCODE_H

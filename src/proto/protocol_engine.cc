@@ -1,0 +1,518 @@
+#include "proto/protocol_engine.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "system/chip_ports.h"
+
+namespace piranha {
+
+ProtocolEngine::ProtocolEngine(EventQueue &eq, std::string name,
+                               const EngineConfig &cfg, const Clock &clk,
+                               IntraChipSwitch &ics, int my_port)
+    : SimObject(eq, std::move(name)), _cfg(cfg), _clk(clk), _ics(ics),
+      _myPort(my_port), _tsrf(cfg.tsrfEntries), _stats(this->name())
+{
+}
+
+void
+ProtocolEngine::regStats(StatGroup &parent)
+{
+    _stats.addScalar("threads", &statThreads, "protocol threads run");
+    _stats.addScalar("instructions", &statInstrs,
+                     "microcode instructions executed");
+    _stats.addScalar("queued", &statQueuedMsgs,
+                     "messages queued behind an active transaction");
+    _stats.addScalar("tsrf_full", &statTsrfFull,
+                     "messages delayed because all TSRF entries were busy");
+    _stats.addHistogram("occupancy_ns", &statOccupancy,
+                        "per-transaction engine occupancy");
+    parent.addChild(&_stats);
+}
+
+void
+ProtocolEngine::installProgram(MicroProgram prog,
+                               std::map<NetMsgType, std::string> net_entries,
+                               std::map<PeOp, std::string> local_entries)
+{
+    _prog = std::move(prog);
+    for (auto &[t, l] : net_entries)
+        _netEntries[t] = _prog.entry(l);
+    for (auto &[o, l] : local_entries)
+        _localEntries[o] = _prog.entry(l);
+}
+
+void
+ProtocolEngine::debugDump(std::ostream &os) const
+{
+    for (const auto &t : _tsrf) {
+        if (!t.valid)
+            continue;
+        os << "  " << name() << " tsrf addr=" << std::hex << t.addr
+           << std::dec << " pc=" << t.pc << " wait="
+           << static_cast<int>(t.wait) << " mask=" << std::hex
+           << t.waitMask << std::dec << " acksLeft=" << t.acksLeft
+           << " origNet=" << netMsgTypeName(t.origMsg.type)
+           << " origLocalOp=" << static_cast<int>(t.origLocal.peOp)
+           << "\n";
+    }
+    for (const auto &[line, q] : _lineQueue)
+        os << "  " << name() << " lineQueue " << std::hex << line
+           << std::dec << " depth=" << q.size() << "\n";
+    if (!_globalQueue.empty())
+        os << "  " << name() << " globalQueue depth="
+           << _globalQueue.size() << "\n";
+}
+
+bool
+ProtocolEngine::idle() const
+{
+    for (const auto &t : _tsrf)
+        if (t.valid)
+            return false;
+    return _globalQueue.empty();
+}
+
+TsrfEntry *
+ProtocolEngine::freeEntry()
+{
+    for (auto &t : _tsrf)
+        if (!t.valid)
+            return &t;
+    return nullptr;
+}
+
+TsrfEntry *
+ProtocolEngine::activeFor(Addr addr)
+{
+    auto it = _active.find(lineNum(addr));
+    return it == _active.end() ? nullptr : &_tsrf[it->second];
+}
+
+void
+ProtocolEngine::deliverNet(const NetPacket &pkt)
+{
+    if (pkt.type == NetMsgType::Inval) {
+        // Invalidations are processed immediately, never serialized
+        // behind the line's active transaction: an invalidation
+        // belongs to an earlier epoch at the home, and delaying it
+        // behind this node's own outstanding request to the same home
+        // line would deadlock (the home may be gathering this very
+        // acknowledgement). Stale invalidations are filtered at the
+        // L2 (they only ever target shared copies).
+        QMsg q;
+        q.isNet = true;
+        q.net = pkt;
+        spawnOrQueue(std::move(q));
+        return;
+    }
+    TsrfEntry *t = activeFor(pkt.addr);
+    if (t) {
+        if (t->wait == TsrfEntry::Wait::Net &&
+            (t->waitMask >> static_cast<unsigned>(pkt.type)) & 1) {
+            t->msg = pkt;
+            resumeWith(*t, static_cast<unsigned>(pkt.type));
+            return;
+        }
+        ++statQueuedMsgs;
+        QMsg q;
+        q.isNet = true;
+        q.net = pkt;
+        _lineQueue[lineNum(pkt.addr)].push_back(std::move(q));
+        return;
+    }
+    if (netIsReplyClass(pkt.type))
+        panic("%s: reply %s for %#llx with no transaction",
+              name().c_str(), netMsgTypeName(pkt.type),
+              static_cast<unsigned long long>(pkt.addr));
+    QMsg q;
+    q.isNet = true;
+    q.net = pkt;
+    spawnOrQueue(std::move(q));
+}
+
+void
+ProtocolEngine::icsDeliver(const IcsMsg &msg)
+{
+    switch (msg.type) {
+      case IcsMsgType::ToHomeEngine:
+      case IcsMsgType::ToRemoteEngine: {
+        TsrfEntry *t = activeFor(msg.addr);
+        QMsg q;
+        q.local = msg;
+        if (t) {
+            ++statQueuedMsgs;
+            _lineQueue[lineNum(msg.addr)].push_back(std::move(q));
+        } else {
+            spawnOrQueue(std::move(q));
+        }
+        break;
+      }
+      case IcsMsgType::PeReadLocalRsp:
+      case IcsMsgType::PeWbAck: {
+        // Local replies match by transaction id: secondary threads
+        // (invalidations) are not registered in the per-line table.
+        unsigned cc = msg.type == IcsMsgType::PeReadLocalRsp
+                          ? ccLocalReadRsp
+                          : ccLocalDone;
+        TsrfEntry *t = nullptr;
+        for (auto &cand : _tsrf) {
+            if (cand.valid && cand.wait == TsrfEntry::Wait::Local &&
+                cand.reqId == msg.reqId) {
+                t = &cand;
+                break;
+            }
+        }
+        if (!t || !((t->waitMask >> cc) & 1))
+            panic("%s: unmatched local reply %s", name().c_str(),
+                  icsMsgTypeName(msg.type));
+        t->local = msg;
+        resumeWith(*t, cc);
+        break;
+      }
+      default:
+        panic("%s: unexpected ICS message %s", name().c_str(),
+              icsMsgTypeName(msg.type));
+    }
+}
+
+void
+ProtocolEngine::resumeWith(TsrfEntry &t, unsigned cc)
+{
+    const MicroInstr &instr = _prog.mem[t.pc];
+    t.wait = TsrfEntry::Wait::None;
+    t.pc = static_cast<std::uint16_t>(instr.next + cc);
+    wake();
+}
+
+void
+ProtocolEngine::spawnOrQueue(QMsg &&m)
+{
+    if (!freeEntry()) {
+        ++statTsrfFull;
+        _globalQueue.push_back(std::move(m));
+        return;
+    }
+    spawn(m);
+}
+
+void
+ProtocolEngine::spawn(const QMsg &m)
+{
+    TsrfEntry *t = freeEntry();
+    if (!t)
+        panic("%s: spawn without free TSRF", name().c_str());
+    *t = TsrfEntry{};
+    t->valid = true;
+    t->started = curTick();
+    ++statThreads;
+    if (m.isNet) {
+        t->addr = m.net.addr;
+        t->msg = m.net;
+        t->origMsg = m.net;
+        t->requester = m.net.requester;
+        t->reqId = m.net.reqId;
+        auto it = _netEntries.find(m.net.type);
+        if (it == _netEntries.end())
+            panic("%s: no handler for %s", name().c_str(),
+                  netMsgTypeName(m.net.type));
+        t->pc = it->second;
+        if (m.net.type == NetMsgType::Inval) {
+            // Secondary thread: runs alongside any primary
+            // transaction for the line.
+            wake();
+            return;
+        }
+    } else {
+        t->addr = m.local.addr;
+        t->origLocal = m.local;
+        t->local = m.local;
+        t->requester = _cfg.node;
+        t->reqId = m.local.reqId;
+        auto it = _localEntries.find(m.local.peOp);
+        if (it == _localEntries.end())
+            panic("%s: no handler for local op %d", name().c_str(),
+                  static_cast<int>(m.local.peOp));
+        t->pc = it->second;
+    }
+    _active[lineNum(t->addr)] = static_cast<std::size_t>(t - _tsrf.data());
+    wake();
+}
+
+void
+ProtocolEngine::retire(TsrfEntry &t)
+{
+    statOccupancy.sample(static_cast<double>(curTick() - t.started) /
+                         static_cast<double>(ticksPerNs));
+    Addr line = lineNum(t.addr);
+    std::size_t idx = static_cast<std::size_t>(&t - _tsrf.data());
+    t.valid = false;
+    t.wait = TsrfEntry::Wait::None;
+    auto ait = _active.find(line);
+    bool was_primary = ait != _active.end() && ait->second == idx;
+    if (was_primary)
+        _active.erase(ait);
+
+    // Per-line queue: the next transaction for this line starts once
+    // its primary slot frees up.
+    auto qit = _lineQueue.find(line);
+    if (was_primary && qit != _lineQueue.end() && !qit->second.empty()) {
+        QMsg next = std::move(qit->second.front());
+        qit->second.pop_front();
+        if (qit->second.empty())
+            _lineQueue.erase(qit);
+        if (next.isNet && netIsReplyClass(next.net.type))
+            panic("%s: queued reply %s orphaned at retire",
+                  name().c_str(), netMsgTypeName(next.net.type));
+        spawnOrQueue(std::move(next));
+    }
+    // Then the global overflow queue.
+    while (!_globalQueue.empty() && freeEntry()) {
+        QMsg next = std::move(_globalQueue.front());
+        _globalQueue.pop_front();
+        Addr nline = lineNum(next.isNet ? next.net.addr
+                                        : next.local.addr);
+        if (_active.count(nline)) {
+            _lineQueue[nline].push_back(std::move(next));
+            continue;
+        }
+        spawn(next);
+        break;
+    }
+}
+
+bool
+ProtocolEngine::tryConsumeQueued(TsrfEntry &t, bool net_side)
+{
+    auto qit = _lineQueue.find(lineNum(t.addr));
+    if (qit == _lineQueue.end())
+        return false;
+    auto &q = qit->second;
+    for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->isNet != net_side)
+            continue;
+        unsigned cc = it->isNet
+                          ? static_cast<unsigned>(it->net.type)
+                          : (it->local.type == IcsMsgType::PeReadLocalRsp
+                                 ? ccLocalReadRsp
+                                 : ccLocalDone);
+        if (!((t.waitMask >> cc) & 1))
+            continue;
+        if (it->isNet)
+            t.msg = it->net;
+        else
+            t.local = it->local;
+        q.erase(it);
+        if (q.empty())
+            _lineQueue.erase(qit);
+        const MicroInstr &instr = _prog.mem[t.pc];
+        t.pc = static_cast<std::uint16_t>(instr.next + cc);
+        return true;
+    }
+    return false;
+}
+
+void
+ProtocolEngine::wake()
+{
+    if (_stepScheduled)
+        return;
+    _stepScheduled = true;
+    scheduleIn(0, [this] { step(); });
+}
+
+void
+ProtocolEngine::step()
+{
+    _stepScheduled = false;
+    // Pick the next ready thread, round-robin (the hardware's
+    // even/odd interleaved fetch achieves the same one-instruction-
+    // per-cycle throughput across threads).
+    TsrfEntry *ready = nullptr;
+    for (std::size_t i = 0; i < _tsrf.size(); ++i) {
+        std::size_t idx = (_rrNext + i) % _tsrf.size();
+        if (_tsrf[idx].valid &&
+            _tsrf[idx].wait == TsrfEntry::Wait::None) {
+            ready = &_tsrf[idx];
+            _rrNext = (idx + 1) % _tsrf.size();
+            break;
+        }
+    }
+    if (!ready)
+        return;
+    executeOne(*ready);
+    _stepScheduled = true;
+    scheduleIn(_clk.cycles(1), [this] { step(); });
+}
+
+void
+ProtocolEngine::executeOne(TsrfEntry &t)
+{
+    // Chase successor-block aliases (address aliasing is free: the
+    // hardware fetches the target slot directly).
+    const MicroInstr *instr = &_prog.mem[t.pc];
+    while (instr->alias) {
+        if (instr->next == 0x3ff)
+            panic("%s: microcode trap at pc %u (unhandled condition)",
+                  name().c_str(), t.pc);
+        t.pc = instr->next;
+        instr = &_prog.mem[t.pc];
+    }
+
+    ++statInstrs;
+    switch (instr->op) {
+      case MicroOp::SEND:
+      case MicroOp::LSEND:
+      case MicroOp::SET:
+        if (instr->action)
+            instr->action(t);
+        t.pc = instr->next;
+        break;
+      case MicroOp::MOVE:
+        if (instr->action)
+            instr->action(t);
+        if (instr->halt) {
+            retire(t);
+            return;
+        }
+        t.pc = instr->next;
+        break;
+      case MicroOp::TEST: {
+        unsigned cc = instr->test ? instr->test(t) : 0;
+        if (cc > 15)
+            panic("%s: TEST condition %u out of range", name().c_str(),
+                  cc);
+        t.pc = static_cast<std::uint16_t>(instr->next + cc);
+        break;
+      }
+      case MicroOp::RECEIVE:
+        t.waitMask = instr->waitMask;
+        if (!tryConsumeQueued(t, true))
+            t.wait = TsrfEntry::Wait::Net;
+        break;
+      case MicroOp::LRECEIVE:
+        t.waitMask = instr->waitMask;
+        if (!tryConsumeQueued(t, false))
+            t.wait = TsrfEntry::Wait::Local;
+        break;
+    }
+}
+
+// ---- Context operations ----
+
+void
+ProtocolEngine::sendNet(NetPacket pkt)
+{
+
+    pkt.src = _cfg.node;
+    pkt.addr = lineAlign(pkt.addr);
+    if (!_cfg.netOut)
+        panic("%s: no network attached", name().c_str());
+    _cfg.netOut(std::move(pkt));
+}
+
+void
+ProtocolEngine::sendPeData(TsrfEntry &t, bool has_data, bool exclusive,
+                           FillSource source)
+{
+    IcsMsg m;
+    m.type = IcsMsgType::PeData;
+    m.addr = t.addr;
+    m.srcPort = _myPort;
+    m.dstPort = t.origLocal.srcPort;
+    m.reqId = t.origLocal.reqId;
+    m.hasData = has_data;
+    if (has_data)
+        m.data = t.data;
+    m.exclusive = exclusive;
+    m.source = source;
+    _ics.send(std::move(m));
+}
+
+void
+ProtocolEngine::sendPeReadLocal(TsrfEntry &t, PeLocalMode mode,
+                                bool hold_line)
+{
+    IcsMsg m;
+    m.type = IcsMsgType::PeReadLocal;
+    m.addr = t.addr;
+    m.srcPort = _myPort;
+    m.dstPort = l2Port(_cfg.amap.bank(t.addr));
+    m.reqId = t.reqId;
+    m.mode = mode;
+    m.holdLine = hold_line;
+    _ics.send(std::move(m));
+}
+
+void
+ProtocolEngine::sendPeComplete(TsrfEntry &t)
+{
+    IcsMsg m;
+    m.type = IcsMsgType::PeComplete;
+    m.addr = t.addr;
+    m.srcPort = _myPort;
+    m.dstPort = l2Port(_cfg.amap.bank(t.addr));
+    m.reqId = t.reqId;
+    _ics.send(std::move(m));
+}
+
+void
+ProtocolEngine::sendPeInvalLocal(TsrfEntry &t)
+{
+    IcsMsg m;
+    m.type = IcsMsgType::PeInvalLocal;
+    m.addr = t.addr;
+    m.srcPort = _myPort;
+    m.dstPort = l2Port(_cfg.amap.bank(t.addr));
+    m.reqId = t.reqId;
+    _ics.send(std::move(m));
+}
+
+void
+ProtocolEngine::memWrite(Addr addr, const LineData *data,
+                         const std::uint64_t *dir)
+{
+    MemCtrl *mc = _cfg.mcFor ? _cfg.mcFor(addr) : nullptr;
+    if (!mc)
+        panic("%s: no memory controller for %#llx", name().c_str(),
+              static_cast<unsigned long long>(addr));
+    mc->writeLine(addr, data, dir);
+}
+
+void
+ProtocolEngine::planCmi(TsrfEntry &t, const std::vector<NodeId> &targets)
+{
+    t.chains.clear();
+    t.chainIdx = 0;
+    if (targets.empty())
+        return;
+    unsigned nchains =
+        std::min<unsigned>(_cfg.cmiFanout,
+                           static_cast<unsigned>(targets.size()));
+    t.chains.resize(nchains);
+    // Deterministic round-robin assignment over sorted targets gives
+    // each cruise missile a predetermined set of nodes to visit.
+    std::vector<NodeId> sorted = targets;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        t.chains[i % nchains].push_back(sorted[i]);
+}
+
+bool
+ProtocolEngine::sendNextChain(TsrfEntry &t)
+{
+    if (t.chainIdx >= t.chains.size())
+        return false;
+    std::vector<NodeId> route = t.chains[t.chainIdx++];
+    NetPacket inv;
+    inv.type = NetMsgType::Inval;
+    inv.addr = t.addr;
+    inv.requester = t.requester;
+    inv.reqId = t.reqId;
+    inv.dst = route.front();
+    inv.cmiRoute.assign(route.begin() + 1, route.end());
+    sendNet(std::move(inv));
+    return true;
+}
+
+} // namespace piranha

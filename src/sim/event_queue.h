@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives an entire simulated system. Events are
+ * closures scheduled at absolute ticks; events scheduled for the same
+ * tick execute in FIFO order of their scheduling (a monotonically
+ * increasing sequence number breaks ties), which keeps simulations
+ * fully deterministic regardless of container behaviour.
+ */
+
+#ifndef PIRANHA_SIM_EVENT_QUEUE_H
+#define PIRANHA_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace piranha {
+
+/** Callable executed when simulated time reaches its scheduled tick. */
+using EventFn = std::function<void()>;
+
+/**
+ * Deterministic single-threaded event queue.
+ *
+ * The queue is intentionally minimal: schedule() and a family of run
+ * methods. Components capture `this` in lambdas; the queue owns the
+ * closures until they fire.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedule @p fn to run at absolute tick @p when (>= curTick()). */
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        if (when < _curTick)
+            panic("event scheduled in the past (%llu < %llu)",
+                  (unsigned long long)when, (unsigned long long)_curTick);
+        _events.push(Entry{when, _nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, EventFn fn)
+    {
+        schedule(_curTick + delta, std::move(fn));
+    }
+
+    /** Number of events not yet executed. */
+    size_t pending() const { return _events.size(); }
+
+    /**
+     * Run until the queue drains or @p limit ticks is exceeded.
+     * @return true if the queue drained, false if the limit stopped it.
+     */
+    bool
+    run(Tick limit = ~Tick(0))
+    {
+        while (!_events.empty()) {
+            const Entry &top = _events.top();
+            if (top.when > limit) {
+                _curTick = limit;
+                return false;
+            }
+            _curTick = top.when;
+            // Move the closure out before popping so that events
+            // scheduled by the closure do not invalidate `top`.
+            EventFn fn = std::move(const_cast<Entry &>(top).fn);
+            _events.pop();
+            ++_executed;
+            fn();
+        }
+        return true;
+    }
+
+    /** Execute at most one event; @return false if queue was empty. */
+    bool
+    step()
+    {
+        if (_events.empty())
+            return false;
+        const Entry &top = _events.top();
+        _curTick = top.when;
+        EventFn fn = std::move(const_cast<Entry &>(top).fn);
+        _events.pop();
+        ++_executed;
+        fn();
+        return true;
+    }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _events;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+/**
+ * A clock domain: converts cycles of some frequency to kernel ticks.
+ * Frequencies that do not divide 1 THz evenly accumulate no drift
+ * because conversions are computed from cycle counts, not incremental.
+ */
+class Clock
+{
+  public:
+    /** @param mhz domain frequency in MHz (500, 1000, 1250, ...). */
+    explicit Clock(double mhz)
+        : _periodPs(1e6 / mhz), _mhz(mhz)
+    {
+        if (mhz <= 0)
+            fatal("clock frequency must be positive (got %f MHz)", mhz);
+    }
+
+    /** Tick duration of @p cycles whole cycles. */
+    Tick
+    cycles(Cycle n) const
+    {
+        return static_cast<Tick>(static_cast<double>(n) * _periodPs + 0.5);
+    }
+
+    /** One cycle in ticks. */
+    Tick period() const { return cycles(1); }
+
+    /** Frequency in MHz. */
+    double mhz() const { return _mhz; }
+
+    /** Number of whole cycles elapsed at tick @p t. */
+    Cycle
+    ticksToCycles(Tick t) const
+    {
+        return static_cast<Cycle>(static_cast<double>(t) / _periodPs);
+    }
+
+  private:
+    double _periodPs;
+    double _mhz;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_SIM_EVENT_QUEUE_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Base class for named simulated hardware modules.
+ *
+ * Every Piranha module (CPU core, L1, L2 bank, ICS, protocol engine,
+ * router, ...) derives from SimObject. The hierarchical dotted name
+ * ("node0.cpu3.dl1") is used in statistics reports and diagnostics.
+ */
+
+#ifndef PIRANHA_SIM_SIM_OBJECT_H
+#define PIRANHA_SIM_SIM_OBJECT_H
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.h"
+
+namespace piranha {
+
+/** A named module attached to an event queue. */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name)
+        : _eq(eq), _name(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical dotted instance name. */
+    const std::string &name() const { return _name; }
+
+    /** Event queue this object schedules on. */
+    EventQueue &eventQueue() const { return _eq; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return _eq.curTick(); }
+
+  protected:
+    /** Convenience: schedule a member-closure @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, EventFn fn)
+    {
+        _eq.scheduleIn(delta, std::move(fn));
+    }
+
+  private:
+    EventQueue &_eq;
+    std::string _name;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_SIM_SIM_OBJECT_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * The simulation kernel counts time in integer ticks of one picosecond.
+ * All clock domains (500 MHz ASIC Piranha cores, 1 GHz OOO baseline,
+ * 1.25 GHz full-custom cores, interconnect clocks) convert their cycles
+ * to ticks through a sim::Clock instance, so heterogeneous domains
+ * coexist on a single event queue without rounding drift.
+ */
+
+#ifndef PIRANHA_SIM_TYPES_H
+#define PIRANHA_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace piranha {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Count of cycles in some clock domain. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address in the global shared address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a node (processing or I/O chip) in the system. */
+using NodeId = std::uint16_t;
+
+/** Identifier of a CPU core within one chip. */
+using CpuId = std::uint16_t;
+
+/** Globally unique CPU identifier: node * cpusPerChip + local id. */
+using GlobalCpuId = std::uint32_t;
+
+/** Ticks per nanosecond (the kernel tick is 1 ps). */
+inline constexpr Tick ticksPerNs = 1000;
+
+/** Ticks per microsecond. */
+inline constexpr Tick ticksPerUs = 1000 * ticksPerNs;
+
+/** Convert a latency expressed in nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(ticksPerNs));
+}
+
+/** Cache line size used throughout Piranha (bytes). */
+inline constexpr unsigned lineBytes = 64;
+
+/** log2(lineBytes). */
+inline constexpr unsigned lineShift = 6;
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(lineBytes - 1);
+}
+
+/** Extract the line number of an address. */
+constexpr Addr
+lineNum(Addr a)
+{
+    return a >> lineShift;
+}
+
+} // namespace piranha
+
+#endif // PIRANHA_SIM_TYPES_H

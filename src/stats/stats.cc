@@ -1,0 +1,133 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+void
+StatGroup::addScalar(const std::string &name, const Scalar *s,
+                     const std::string &desc)
+{
+    _scalars[name] = ScalarEnt{s, desc};
+}
+
+void
+StatGroup::addRatio(const std::string &name, Ratio r,
+                    const std::string &desc)
+{
+    _ratios[name] = RatioEnt{r, desc};
+}
+
+void
+StatGroup::addHistogram(const std::string &name, const Histogram *h,
+                        const std::string &desc)
+{
+    _hists[name] = HistEnt{h, desc};
+}
+
+void
+StatGroup::addChild(const StatGroup *child)
+{
+    _children.push_back(child);
+}
+
+const Scalar *
+StatGroup::scalar(const std::string &name) const
+{
+    auto it = _scalars.find(name);
+    return it == _scalars.end() ? nullptr : it->second.s;
+}
+
+namespace {
+
+void
+printLine(std::ostream &os, const std::string &name, double value,
+          const std::string &desc)
+{
+    std::ostringstream val;
+    val << std::setprecision(6) << value;
+    os << std::left << std::setw(48) << name << " "
+       << std::right << std::setw(16) << val.str();
+    if (!desc.empty())
+        os << "  # " << desc;
+    os << "\n";
+}
+
+} // namespace
+
+void
+StatGroup::report(std::ostream &os, const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    if (base.empty())
+        base = "system";
+    for (const auto &[n, e] : _scalars)
+        printLine(os, base + "." + n, e.s->value(), e.desc);
+    for (const auto &[n, e] : _ratios)
+        printLine(os, base + "." + n, e.r.value(), e.desc);
+    for (const auto &[n, e] : _hists) {
+        printLine(os, base + "." + n + ".samples",
+                  static_cast<double>(e.h->samples()), e.desc);
+        printLine(os, base + "." + n + ".mean", e.h->mean(), "");
+        printLine(os, base + "." + n + ".max", e.h->max(), "");
+    }
+    for (const StatGroup *c : _children)
+        c->report(os, base);
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _header.size())
+        panic("TextTable row arity %zu != header arity %zu",
+              cells.size(), _header.size());
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> width(_header.size());
+    for (size_t c = 0; c < _header.size(); ++c)
+        width[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ")
+               << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    print_row(_header);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : _rows)
+        print_row(row);
+}
+
+} // namespace piranha

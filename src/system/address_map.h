@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Global physical address mapping.
+ *
+ * Within a chip, L2 banks (and their attached memory controllers) are
+ * interleaved on the lower bits of the cache-line address (paper
+ * §2.3). Across nodes, memory homes are interleaved at page
+ * granularity so that a multi-node workload's data distributes evenly
+ * (real systems assign homes via the OS page allocator; page
+ * interleaving is the conventional simulator substitute).
+ */
+
+#ifndef PIRANHA_SYSTEM_ADDRESS_MAP_H
+#define PIRANHA_SYSTEM_ADDRESS_MAP_H
+
+#include "sim/types.h"
+
+namespace piranha {
+
+/** Address-to-home/bank mapping shared by all nodes of a system. */
+struct AddressMap
+{
+    unsigned numNodes = 1;
+    unsigned banksPerChip = 8;
+    unsigned pageShift = 13; //!< 8 KB home interleave granularity
+
+    /** Home node of @p addr. */
+    NodeId
+    home(Addr addr) const
+    {
+        return static_cast<NodeId>((addr >> pageShift) % numNodes);
+    }
+
+    /** L2 bank / memory controller within a chip for @p addr. */
+    unsigned
+    bank(Addr addr) const
+    {
+        return static_cast<unsigned>(lineNum(addr) % banksPerChip);
+    }
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_SYSTEM_ADDRESS_MAP_H

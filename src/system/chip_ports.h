@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Intra-chip switch port assignment for a Piranha processing chip.
+ *
+ * The ICS has 27 clients (paper §2.2): 16 first-level caches (a dL1
+ * and an iL1 per CPU), 8 L2 banks, the home and remote protocol
+ * engines, and the system controller. L1 ports equal their chip-wide
+ * L1 ids so forwarded fills can be addressed directly.
+ */
+
+#ifndef PIRANHA_SYSTEM_CHIP_PORTS_H
+#define PIRANHA_SYSTEM_CHIP_PORTS_H
+
+namespace piranha {
+
+inline constexpr unsigned cpusPerChipMax = 8;
+
+/** dL1 of CPU @p cpu (also its chip-wide L1 id). */
+constexpr int
+dl1Port(unsigned cpu)
+{
+    return static_cast<int>(2 * cpu);
+}
+
+/** iL1 of CPU @p cpu (also its chip-wide L1 id). */
+constexpr int
+il1Port(unsigned cpu)
+{
+    return static_cast<int>(2 * cpu + 1);
+}
+
+/** True if @p l1_id designates an instruction cache. */
+constexpr bool
+isInstrL1(int l1_id)
+{
+    return (l1_id & 1) != 0;
+}
+
+/** L2 bank @p bank. */
+constexpr int
+l2Port(unsigned bank)
+{
+    return static_cast<int>(16 + bank);
+}
+
+inline constexpr int homeEnginePort = 24;
+inline constexpr int remoteEnginePort = 25;
+inline constexpr int sysCtrlPort = 26;
+inline constexpr unsigned icsPortCount = 27;
+
+} // namespace piranha
+
+#endif // PIRANHA_SYSTEM_CHIP_PORTS_H

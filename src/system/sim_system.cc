@@ -1,0 +1,120 @@
+#include "system/sim_system.h"
+
+#include <algorithm>
+
+namespace piranha {
+
+PiranhaSystem::PiranhaSystem(const SystemConfig &cfg) : _cfg(cfg)
+{
+    _amap.numNodes = cfg.nodes;
+    if (cfg.nodes > 1)
+        _net = std::make_unique<Network>(_eq, "net");
+    for (unsigned n = 0; n < cfg.nodes; ++n) {
+        _chips.push_back(std::make_unique<PiranhaChip>(
+            _eq, strFormat("node%u", n), static_cast<NodeId>(n), _amap,
+            cfg.chip, _net.get()));
+    }
+    if (_net) {
+        for (unsigned n = 0; n < cfg.nodes; ++n) {
+            PiranhaChip *c = _chips[n].get();
+            _net->addNode(static_cast<NodeId>(n),
+                          [c](const NetPacket &p) { c->deliverNet(p); });
+        }
+        if (cfg.nodes <= 5)
+            Network::buildFullyConnected(*_net);
+        else
+            Network::buildRing(*_net);
+        _net->regStats(_stats);
+    }
+    for (unsigned n = 0; n < cfg.nodes; ++n) {
+        _chips[n]->regStats(_stats);
+        for (unsigned c = 0; c < cfg.cpusPerChip; ++c) {
+            _cores.push_back(std::make_unique<Core>(
+                _eq, strFormat("node%u.cpu%u", n, c),
+                _chips[n]->clock(), _chips[n]->dl1(c),
+                _chips[n]->il1(c), cfg.core));
+            _cores.back()->regStats(_stats);
+        }
+    }
+}
+
+RunResult
+PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
+                   Tick max_time)
+{
+    unsigned ncpus = totalCpus();
+    CoreParams cp = _cfg.core;
+    cp.ilp = wl.ilp();
+    // The OOO parameters live in the cores; rebuild with the
+    // workload's ILP (cores are cheap).
+    _cores.clear();
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        for (unsigned c = 0; c < _cfg.cpusPerChip; ++c) {
+            _cores.push_back(std::make_unique<Core>(
+                _eq, strFormat("node%u.cpu%u", n, c),
+                _chips[n]->clock(), _chips[n]->dl1(c),
+                _chips[n]->il1(c), cp));
+        }
+    }
+    _streams.clear();
+    for (unsigned i = 0; i < ncpus; ++i) {
+        NodeId node = static_cast<NodeId>(i / _cfg.cpusPerChip);
+        _streams.push_back(
+            wl.makeStream(_eq, i, ncpus, work_per_cpu, node, _amap));
+        _cores[i]->start(_streams[i].get());
+    }
+
+    Tick deadline = _eq.curTick() + max_time;
+    for (;;) {
+        bool all_done = true;
+        for (auto &core : _cores)
+            all_done = all_done && core->done();
+        if (all_done)
+            break;
+        if (_eq.curTick() >= deadline) {
+            warn("run hit max_time before completing work");
+            break;
+        }
+        if (!_eq.step())
+            break;
+    }
+
+    RunResult r;
+    r.config = _cfg.name;
+    r.workload = wl.name();
+    double busy = 0, hit = 0, miss = 0, idle = 0;
+    for (unsigned i = 0; i < ncpus; ++i) {
+        r.execTime = std::max(r.execTime, _cores[i]->accountedTime());
+        r.work += _streams[i]->workDone();
+        busy += _cores[i]->statBusy.value();
+        hit += _cores[i]->statL2HitStall.value();
+        miss += _cores[i]->statL2MissStall.value();
+        idle += _cores[i]->statIdle.value();
+        r.instructions += _cores[i]->statInstrs.value();
+    }
+    double total = busy + hit + miss + idle;
+    if (total > 0) {
+        r.busyFrac = busy / total;
+        r.l2HitStallFrac = hit / total;
+        r.l2MissStallFrac = miss / total;
+        r.idleFrac = idle / total;
+    }
+    double page_hits = 0, page_misses = 0;
+    for (auto &chip : _chips) {
+        auto mb = chip->missBreakdown();
+        r.misses.l2Hit += mb.l2Hit;
+        r.misses.l2Fwd += mb.l2Fwd;
+        r.misses.memLocal += mb.memLocal;
+        r.misses.memRemote += mb.memRemote;
+        r.misses.remoteDirty += mb.remoteDirty;
+        for (unsigned b = 0; b < 8; ++b) {
+            page_hits += chip->mc(b).channel().statPageHits.value();
+            page_misses += chip->mc(b).channel().statPageMisses.value();
+        }
+    }
+    if (page_hits + page_misses > 0)
+        r.rdramPageHitRate = page_hits / (page_hits + page_misses);
+    return r;
+}
+
+} // namespace piranha

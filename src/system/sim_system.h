@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Whole-system simulation driver: builds a configured multi-node
+ * Piranha (or baseline) system, attaches a workload to every CPU, and
+ * runs a fixed amount of work, reporting execution time with the
+ * paper's breakdown. This is the primary entry point of the public
+ * API (re-exported by core/piranha.h).
+ */
+
+#ifndef PIRANHA_SYSTEM_SIM_SYSTEM_H
+#define PIRANHA_SYSTEM_SIM_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.h"
+#include "system/chip.h"
+#include "system/config.h"
+#include "workload/workload.h"
+
+namespace piranha {
+
+/** Result of one fixed-work run. */
+struct RunResult
+{
+    std::string config;
+    std::string workload;
+
+    Tick execTime = 0;      //!< max accounted time over CPUs
+    std::uint64_t work = 0; //!< total work units completed
+
+    // Execution-time fractions (paper Fig. 5 decomposition).
+    double busyFrac = 0;
+    double l2HitStallFrac = 0;
+    double l2MissStallFrac = 0;
+    double idleFrac = 0;
+
+    // L1-miss service breakdown (paper Fig. 6b).
+    PiranhaChip::MissBreakdown misses;
+
+    double instructions = 0;
+    double rdramPageHitRate = 0;
+
+    /** Work per second of simulated time (throughput). */
+    double
+    throughput() const
+    {
+        return execTime
+                   ? static_cast<double>(work) /
+                         (static_cast<double>(execTime) * 1e-12)
+                   : 0.0;
+    }
+};
+
+/** A complete simulated system with CPUs and a workload harness. */
+class PiranhaSystem
+{
+  public:
+    explicit PiranhaSystem(const SystemConfig &cfg);
+
+    /**
+     * Run @p work_per_cpu work units on every CPU of the system and
+     * return the measured result. @p max_time bounds runaway runs.
+     */
+    RunResult run(Workload &wl, std::uint64_t work_per_cpu,
+                  Tick max_time = 100 * 1000 * ticksPerUs);
+
+    PiranhaChip &chip(unsigned n) { return *_chips[n]; }
+    unsigned totalCpus() const { return _cfg.nodes * _cfg.cpusPerChip; }
+    EventQueue &eventQueue() { return _eq; }
+    StatGroup &stats() { return _stats; }
+
+  private:
+    SystemConfig _cfg;
+    EventQueue _eq;
+    AddressMap _amap;
+    std::unique_ptr<Network> _net;
+    std::vector<std::unique_ptr<PiranhaChip>> _chips;
+    std::vector<std::unique_ptr<Core>> _cores;
+    std::vector<std::unique_ptr<InstrStream>> _streams;
+    StatGroup _stats{"system"};
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_SYSTEM_SIM_SYSTEM_H

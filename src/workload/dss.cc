@@ -1,0 +1,107 @@
+#include "workload/dss.h"
+
+#include <deque>
+
+#include "sim/types.h"
+
+namespace piranha {
+
+namespace {
+
+constexpr Addr kTable = 0x200000000;
+constexpr Addr kScanCode = 0x011000000;
+constexpr Addr kAggregate = 0x300000000;
+
+class DssStream : public InstrStream
+{
+  public:
+    DssStream(const DssParams &p, std::uint64_t seed, unsigned cpu,
+              unsigned total_cpus, std::uint64_t target)
+        : _p(p), _cpu(cpu), _target(target),
+          _rng(seed ^ 0x51ca88d5ull, cpu)
+    {
+        std::uint64_t rows = p.tableBytes / p.rowBytes;
+        std::uint64_t per_cpu = rows / total_cpus;
+        _rowFirst = cpu * per_cpu;
+        _rowLast = _rowFirst + per_cpu;
+        _row = _rowFirst;
+    }
+
+    std::uint64_t workDone() const override { return _chunks; }
+
+    StreamOp
+    next() override
+    {
+        while (_q.empty()) {
+            if (_chunks >= _target)
+                return StreamOp{};
+            refill();
+        }
+        StreamOp op = _q.front();
+        _q.pop_front();
+        return op;
+    }
+
+  private:
+    void
+    refill()
+    {
+        // The scan loop: a handful of basic blocks that fit in a few
+        // I-cache lines.
+        Addr pc = kScanCode + (_row % 6) * 64;
+        Addr row_addr = kTable + _row * _p.rowBytes;
+
+        StreamOp compute;
+        compute.kind = StreamOp::Kind::Compute;
+        compute.count = static_cast<std::uint32_t>(
+            _rng.geometric(_p.computePerRow));
+        compute.pc = pc;
+        _q.push_back(compute);
+
+        for (unsigned f = 0; f < _p.loadsPerRow; ++f) {
+            StreamOp ld;
+            ld.kind = StreamOp::Kind::Load;
+            ld.addr = row_addr + f * 16;
+            ld.pc = pc;
+            _q.push_back(ld);
+        }
+        if (_rng.chance(_p.selectivity)) {
+            // Row qualifies: accumulate into the per-CPU aggregate.
+            StreamOp st;
+            st.kind = StreamOp::Kind::Store;
+            st.addr = kAggregate + _cpu * 4096;
+            st.pc = pc;
+            _q.push_back(st);
+        }
+        if (++_row >= _rowLast)
+            _row = _rowFirst; // re-scan (fixed-work runs stop us)
+        if ((_row - _rowFirst) % _p.rowsPerChunk == 0)
+            ++_chunks;
+    }
+
+    const DssParams _p;
+    unsigned _cpu;
+    std::uint64_t _target;
+    Pcg32 _rng;
+    std::uint64_t _rowFirst, _rowLast, _row;
+    std::uint64_t _chunks = 0;
+    std::deque<StreamOp> _q;
+};
+
+} // namespace
+
+DssWorkload::DssWorkload(const DssParams &p, std::uint64_t seed)
+    : _p(p), _seed(seed)
+{
+}
+
+std::unique_ptr<InstrStream>
+DssWorkload::makeStream(EventQueue &, unsigned global_cpu,
+                        unsigned total_cpus, std::uint64_t work_target,
+                        NodeId, const AddressMap &)
+{
+    return std::make_unique<DssStream>(_p, _seed, global_cpu,
+                                       total_cpus, work_target);
+}
+
+} // namespace piranha

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DSS workload modeled after Query 6 of TPC-D (paper §3.1).
+ *
+ * Q6 scans the largest table of the database to evaluate the revenue
+ * effect of eliminating discounts: a tight, predicate-evaluation loop
+ * over sequential rows with high spatial locality, a small
+ * instruction footprint, little sharing, and plenty of ILP — which is
+ * why the out-of-order baseline profits far more here than on OLTP.
+ * The query is parallelized into independent server processes (the
+ * paper uses four per processor via the Oracle Parallel Query
+ * Optimization; partitioning per CPU is equivalent for the memory
+ * system), each scanning its partition of an in-memory table.
+ */
+
+#ifndef PIRANHA_WORKLOAD_DSS_H
+#define PIRANHA_WORKLOAD_DSS_H
+
+#include "sim/rng.h"
+#include "workload/workload.h"
+
+namespace piranha {
+
+/** Tuning knobs of the DSS scan. */
+struct DssParams
+{
+    std::uint64_t tableBytes = 500ull << 20; //!< in-memory table
+    unsigned rowBytes = 128;
+    double computePerRow = 300.0; //!< predicate + decimal arithmetic
+    unsigned loadsPerRow = 3;     //!< row fields touched
+    unsigned rowsPerChunk = 1024; //!< work-unit granularity
+    double selectivity = 0.02;    //!< rows entering the aggregate
+    WorkloadIlp ooo{1.8, 0.95};
+};
+
+/** The DSS workload. */
+class DssWorkload : public Workload
+{
+  public:
+    explicit DssWorkload(const DssParams &p = DssParams{},
+                         std::uint64_t seed = 1);
+
+    const std::string &name() const override { return _name; }
+    WorkloadIlp ilp() const override { return _p.ooo; }
+
+    std::unique_ptr<InstrStream>
+    makeStream(EventQueue &eq, unsigned global_cpu, unsigned total_cpus,
+               std::uint64_t work_target, NodeId node,
+               const AddressMap &amap) override;
+
+    const DssParams &params() const { return _p; }
+    std::uint64_t seed() const { return _seed; }
+
+  private:
+    DssParams _p;
+    std::uint64_t _seed;
+    std::string _name = "DSS(TPC-D Q6)";
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_WORKLOAD_DSS_H

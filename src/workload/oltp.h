@@ -1,0 +1,104 @@
+/**
+ * @file
+ * OLTP workload modeled after TPC-B (paper §3.1), plus a TPC-C-like
+ * variant.
+ *
+ * A banking database: each transaction updates a randomly chosen
+ * account balance, the balance of the customer's branch and of the
+ * submitting teller, and appends to the history table. Runs are
+ * configured like the paper's: 40 branches, a multi-hundred-megabyte
+ * SGA, and (to hide I/O latency, including log writes) multiple
+ * server processes per processor — 8 in this study — which the
+ * per-CPU stream context-switches between on every commit's log-write
+ * I/O wait. A log-writer lock serializes commits, and the OS kernel
+ * component (~25% of execution in the paper's runs) is modeled as a
+ * separate kernel code footprint exercised on entry/exit and context
+ * switches.
+ */
+
+#ifndef PIRANHA_WORKLOAD_OLTP_H
+#define PIRANHA_WORKLOAD_OLTP_H
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "workload/workload.h"
+
+namespace piranha {
+
+/** Tuning knobs of the OLTP synthetic (defaults model TPC-B). */
+struct OltpParams
+{
+    unsigned serversPerCpu = 8;
+    unsigned accessesPerTxn = 110;  //!< data references per txn
+    double computeRunMean = 18.0;   //!< instrs between references
+
+    unsigned branches = 40;
+    unsigned tellersPerBranch = 10;
+    unsigned accountsPerBranch = 10000;
+    unsigned rowBytes = 128;
+
+    std::uint64_t codeBytes = 256 << 10;
+    std::uint64_t kernelBytes = 128 << 10;
+    double kernelFrac = 0.25;
+    std::uint64_t metaBytes = 256ull << 10; //!< SGA metadata
+    std::uint64_t metaHotBytes = 96ull << 10; //!< its hottest part
+    double metaHotFrac = 0.85; //!< references hitting the hot part
+    std::uint64_t cacheBytes = 512ull << 20; //!< DB buffer cache
+    std::uint64_t privateBytes = 16ull << 10; //!< per-process WS
+
+    double ioWaitUs = 30.0;      //!< commit log-write latency
+    unsigned switchInstrs = 350; //!< context-switch kernel path
+    unsigned commitStores = 6;   //!< log entries per commit
+
+    // Data reference mix (weights, normalized internally). The bulk
+    // of references hit process-private and hot-metadata state (L1/L2
+    // class); the database tables and buffer cache form the
+    // memory-stall tail.
+    double wAccount = 0.020;
+    double wBranch = 0.030;
+    double wTeller = 0.020;
+    double wHistory = 0.035;
+    double wMeta = 0.330;
+    double wCache = 0.015;
+    double wPrivate = 0.550;
+
+    WorkloadIlp ooo{1.35, 0.45};
+};
+
+/** The OLTP workload: shared tables + per-CPU server-process streams. */
+class OltpWorkload : public Workload
+{
+  public:
+    explicit OltpWorkload(const OltpParams &p = OltpParams{},
+                          std::uint64_t seed = 1,
+                          std::string name = "OLTP(TPC-B)");
+
+    const std::string &name() const override { return _name; }
+    WorkloadIlp ilp() const override { return _p.ooo; }
+
+    std::unique_ptr<InstrStream>
+    makeStream(EventQueue &eq, unsigned global_cpu, unsigned total_cpus,
+               std::uint64_t work_target, NodeId node,
+               const AddressMap &amap) override;
+
+    /** TPC-C-like variant: larger transactions, hotter sharing. */
+    static OltpParams tpccParams();
+
+    // Shared inter-stream state (log lock, cursors).
+    int logLockHolder = -1;
+    std::uint64_t logCursor = 0;
+    std::vector<std::uint64_t> historyCursor;
+
+    const OltpParams &params() const { return _p; }
+    std::uint64_t seed() const { return _seed; }
+
+  private:
+    OltpParams _p;
+    std::uint64_t _seed;
+    std::string _name;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_WORKLOAD_OLTP_H

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Single-chip integration tests: the full L1 / ICS / L2 / memory
+ * stack with intra-chip coherence (paper §2.1-§2.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_system.h"
+
+namespace piranha {
+namespace {
+
+constexpr Addr kBase = 0x100000;
+
+TEST(Chip, LoadReturnsMemoryContents)
+{
+    TestSystem sys(1, 2);
+    sys.chips[0]->memory().poke64(kBase, 0xdeadbeefcafef00dULL);
+    FillSource src;
+    EXPECT_EQ(sys.load(0, 0, kBase, 8, &src), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(src, FillSource::MemLocal);
+    // Second load hits the L1.
+    EXPECT_EQ(sys.load(0, 0, kBase, 8, &src), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(src, FillSource::L1);
+}
+
+TEST(Chip, CleanExclusiveGrantOnLoad)
+{
+    // A dL1 load with no other sharers is granted an exclusive copy
+    // so a later store needs no upgrade.
+    TestSystem sys(1, 2);
+    sys.load(0, 0, kBase);
+    sys.settle();
+    EXPECT_EQ(sys.chips[0]->dl1(0).lineState(kBase), L1State::E);
+    sys.store(0, 0, kBase, 1);
+    sys.settle();
+    EXPECT_EQ(sys.chips[0]->dl1(0).lineState(kBase), L1State::M);
+    EXPECT_EQ(sys.chips[0]->dl1(0).statUpgrades.value(), 0.0);
+}
+
+TEST(Chip, StoreForwardedFromStoreBuffer)
+{
+    TestSystem sys(1, 1);
+    FillSource src;
+    sys.store(0, 0, kBase + 8, 0x1234);
+    EXPECT_EQ(sys.load(0, 0, kBase + 8, 8, &src), 0x1234u);
+    sys.settle();
+    EXPECT_EQ(sys.load(0, 0, kBase + 8), 0x1234u);
+}
+
+TEST(Chip, PartialStoreMergesWithMemory)
+{
+    TestSystem sys(1, 1);
+    sys.chips[0]->memory().poke64(kBase, 0x1111111111111111ULL);
+    sys.store(0, 0, kBase + 2, 0xaa, 1);
+    sys.settle();
+    EXPECT_EQ(sys.load(0, 0, kBase), 0x1111111111aa1111ULL);
+}
+
+TEST(Chip, StoreVisibleToOtherCpuViaForward)
+{
+    TestSystem sys(1, 8);
+    sys.store(0, 0, kBase, 0x42);
+    sys.settle();
+    FillSource src;
+    EXPECT_EQ(sys.load(0, 3, kBase, 8, &src), 0x42u);
+    // The data came from the owning L1, not from memory.
+    EXPECT_EQ(src, FillSource::L2Fwd);
+    EXPECT_GT(sys.chips[0]->missBreakdown().l2Fwd, 0.0);
+}
+
+TEST(Chip, WriteInvalidatesAllSharers)
+{
+    TestSystem sys(1, 8);
+    sys.chips[0]->memory().poke64(kBase, 7);
+    for (unsigned cpu = 1; cpu < 8; ++cpu)
+        EXPECT_EQ(sys.load(0, cpu, kBase), 7u);
+    sys.settle();
+    sys.store(0, 0, kBase, 8);
+    sys.settle();
+    for (unsigned cpu = 1; cpu < 8; ++cpu) {
+        EXPECT_EQ(sys.chips[0]->dl1(cpu).lineState(kBase), L1State::I)
+            << "cpu " << cpu;
+        EXPECT_EQ(sys.load(0, cpu, kBase), 8u) << "cpu " << cpu;
+    }
+}
+
+TEST(Chip, InstructionCachesKeptCoherent)
+{
+    // Unlike other Alpha implementations, the iL1 is kept coherent by
+    // hardware (paper §2.1).
+    TestSystem sys(1, 2);
+    sys.chips[0]->memory().poke64(kBase, 0x11223344);
+    EXPECT_EQ(sys.ifetch(0, 1, kBase), 0x11223344u & 0xffffffffu);
+    EXPECT_EQ(sys.chips[0]->il1(1).lineState(kBase), L1State::S);
+    sys.store(0, 0, kBase, 0x55667788);
+    sys.settle();
+    EXPECT_EQ(sys.chips[0]->il1(1).lineState(kBase), L1State::I);
+    EXPECT_EQ(sys.ifetch(0, 1, kBase), 0x55667788u);
+}
+
+TEST(Chip, NonInclusiveFillsBypassL2)
+{
+    // L1 misses that also miss in the L2 are filled directly from
+    // memory without allocating an L2 line (paper §2.3).
+    TestSystem sys(1, 1);
+    for (unsigned i = 0; i < 16; ++i)
+        sys.load(0, 0, kBase + i * lineBytes);
+    sys.settle();
+    double wb = 0;
+    for (unsigned b = 0; b < 8; ++b)
+        wb += sys.chips[0]->l2(b).statWbInstalls.value();
+    EXPECT_EQ(wb, 0.0);
+    EXPECT_EQ(sys.chips[0]->missBreakdown().l2Hit, 0.0);
+}
+
+TEST(Chip, L2ActsAsVictimCache)
+{
+    // Evicting a clean owner line from the L1 writes it back into
+    // the L2; re-reading it hits the L2.
+    TestSystem sys(1, 1);
+    L1Params l1 = ChipParams{}.l1d;
+    // Walk more lines than one L1 set can hold (2-way): three lines
+    // mapping to the same set force an eviction.
+    std::size_t sets = (l1.sizeBytes / (l1.assoc * lineBytes));
+    Addr stride = static_cast<Addr>(sets) * lineBytes * 8; // same set+bank
+    sys.chips[0]->memory().poke64(kBase, 111);
+    sys.load(0, 0, kBase);
+    sys.load(0, 0, kBase + stride);
+    sys.load(0, 0, kBase + 2 * stride); // evicts kBase (LRU)
+    sys.settle();
+    EXPECT_EQ(sys.chips[0]->dl1(0).lineState(kBase), L1State::I);
+    double wb = 0;
+    for (unsigned b = 0; b < 8; ++b)
+        wb += sys.chips[0]->l2(b).statWbInstalls.value();
+    EXPECT_GT(wb, 0.0);
+    FillSource src;
+    EXPECT_EQ(sys.load(0, 0, kBase, 8, &src), 111u);
+    EXPECT_EQ(src, FillSource::L2Hit);
+}
+
+TEST(Chip, DirtyVictimSurvivesL1AndL2Eviction)
+{
+    TestSystem sys(1, 1);
+    L1Params l1 = ChipParams{}.l1d;
+    std::size_t sets = (l1.sizeBytes / (l1.assoc * lineBytes));
+    Addr stride = static_cast<Addr>(sets) * lineBytes * 8;
+    sys.store(0, 0, kBase, 0xfeed);
+    sys.load(0, 0, kBase + stride);
+    sys.load(0, 0, kBase + 2 * stride);
+    sys.settle();
+    EXPECT_EQ(sys.load(0, 0, kBase), 0xfeedu);
+}
+
+TEST(Chip, UpgradeAfterSharedLoad)
+{
+    TestSystem sys(1, 2);
+    sys.chips[0]->memory().poke64(kBase, 5);
+    sys.load(0, 0, kBase);
+    sys.load(0, 1, kBase); // both now share
+    sys.settle();
+    EXPECT_EQ(sys.chips[0]->dl1(0).lineState(kBase), L1State::S);
+    sys.store(0, 0, kBase, 6);
+    sys.settle();
+    EXPECT_GT(sys.chips[0]->dl1(0).statUpgrades.value(), 0.0);
+    EXPECT_EQ(sys.chips[0]->dl1(1).lineState(kBase), L1State::I);
+    EXPECT_EQ(sys.load(0, 1, kBase), 6u);
+}
+
+TEST(Chip, Wh64GrantsWritableLineWithoutData)
+{
+    TestSystem sys(1, 2);
+    sys.wh64(0, 0, kBase);
+    sys.settle();
+    EXPECT_EQ(sys.chips[0]->dl1(0).lineState(kBase), L1State::M);
+    sys.store(0, 0, kBase, 0xabc);
+    sys.settle();
+    EXPECT_EQ(sys.load(0, 1, kBase), 0xabcu);
+}
+
+TEST(Chip, ExclusiveOwnershipMigratesBetweenCpus)
+{
+    TestSystem sys(1, 4);
+    sys.store(0, 0, kBase, 1);
+    sys.settle();
+    sys.store(0, 1, kBase, 2); // FwdGetX from cpu0's dL1
+    sys.settle();
+    EXPECT_EQ(sys.chips[0]->dl1(0).lineState(kBase), L1State::I);
+    EXPECT_EQ(sys.chips[0]->dl1(1).lineState(kBase), L1State::M);
+    sys.store(0, 2, kBase, 3);
+    sys.settle();
+    EXPECT_EQ(sys.load(0, 3, kBase), 3u);
+}
+
+TEST(Chip, ManyLinesAcrossAllBanks)
+{
+    TestSystem sys(1, 4);
+    for (unsigned i = 0; i < 256; ++i)
+        sys.store(0, i % 4, kBase + i * lineBytes,
+                  0xa000u + i);
+    sys.settle();
+    for (unsigned i = 0; i < 256; ++i)
+        EXPECT_EQ(sys.load(0, (i + 1) % 4, kBase + i * lineBytes),
+                  0xa000u + i);
+}
+
+} // namespace
+} // namespace piranha

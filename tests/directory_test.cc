@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the 44-bit directory entry codec: limited-pointer and
+ * coarse-vector representations, the switch at >4 remote sharers, and
+ * pack/unpack round trips (paper §2.5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mem/directory.h"
+#include "sim/rng.h"
+
+namespace piranha {
+namespace {
+
+TEST(DirEntry, StartsUncached)
+{
+    DirEntry e(64);
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.state(), DirState::Uncached);
+    EXPECT_EQ(e.sharerCount(), 0u);
+    EXPECT_FALSE(e.mayBeSharer(3));
+}
+
+TEST(DirEntry, LimitedPointerUpToFourSharers)
+{
+    DirEntry e(1024);
+    e.addSharer(10);
+    e.addSharer(999);
+    e.addSharer(0);
+    e.addSharer(512);
+    EXPECT_EQ(e.state(), DirState::SharedPtr);
+    EXPECT_EQ(e.sharerCount(), 4u);
+    EXPECT_TRUE(e.mayBeSharer(999));
+    EXPECT_FALSE(e.mayBeSharer(11));
+}
+
+TEST(DirEntry, SwitchesToCoarseVectorPastFour)
+{
+    // "Given a 1K node system, we switch to coarse vector
+    //  representation past 4 remote sharing nodes."
+    DirEntry e(1024);
+    for (NodeId n : {5, 100, 200, 300})
+        e.addSharer(n);
+    EXPECT_EQ(e.state(), DirState::SharedPtr);
+    e.addSharer(400);
+    EXPECT_EQ(e.state(), DirState::SharedCv);
+    for (NodeId n : {5, 100, 200, 300, 400})
+        EXPECT_TRUE(e.mayBeSharer(n));
+}
+
+TEST(DirEntry, CoarseVectorIsConservative)
+{
+    DirEntry e(1024);
+    for (NodeId n : {0, 100, 200, 300, 400})
+        e.addSharer(n);
+    ASSERT_EQ(e.state(), DirState::SharedCv);
+    // Node in the same group as node 0 may be reported as sharer
+    // (over-invalidation is allowed; missing a sharer is not).
+    unsigned gs = DirEntry::groupSize(1024);
+    EXPECT_TRUE(e.mayBeSharer(static_cast<NodeId>(gs - 1)));
+    // All true sharers must be covered by sharerList().
+    auto list = e.sharerList();
+    for (NodeId n : {0, 100, 200, 300, 400}) {
+        EXPECT_NE(std::find(list.begin(), list.end(), n), list.end())
+            << "missing true sharer " << n;
+    }
+}
+
+TEST(DirEntry, ExclusiveOwner)
+{
+    DirEntry e(16);
+    e.setExclusive(7);
+    EXPECT_EQ(e.state(), DirState::Exclusive);
+    EXPECT_EQ(e.owner(), 7);
+    EXPECT_TRUE(e.mayBeSharer(7));
+    EXPECT_FALSE(e.mayBeSharer(6));
+    // Read by another node demotes owner to sharer alongside it.
+    e.addSharer(3);
+    EXPECT_EQ(e.state(), DirState::SharedPtr);
+    EXPECT_TRUE(e.mayBeSharer(7));
+    EXPECT_TRUE(e.mayBeSharer(3));
+}
+
+TEST(DirEntry, RemoveSharerAndCollapse)
+{
+    DirEntry e(16);
+    e.addSharer(1);
+    e.addSharer(2);
+    e.removeSharer(1);
+    EXPECT_FALSE(e.mayBeSharer(1));
+    EXPECT_TRUE(e.mayBeSharer(2));
+    e.removeSharer(2);
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(DirEntry, RemoveOwnerClearsExclusive)
+{
+    DirEntry e(16);
+    e.setExclusive(5);
+    e.removeSharer(5);
+    EXPECT_TRUE(e.empty());
+    // Removing a non-owner does nothing.
+    e.setExclusive(5);
+    e.removeSharer(6);
+    EXPECT_EQ(e.owner(), 5);
+}
+
+TEST(DirEntry, PackFitsIn44Bits)
+{
+    Pcg32 rng(77);
+    for (int i = 0; i < 2000; ++i) {
+        DirEntry e(1024);
+        unsigned n = 1 + rng.below(10);
+        for (unsigned j = 0; j < n; ++j)
+            e.addSharer(static_cast<NodeId>(rng.below(1024)));
+        EXPECT_EQ(e.pack() >> DirEntry::entryBits, 0u);
+    }
+}
+
+TEST(DirEntry, PackUnpackRoundTripPointer)
+{
+    Pcg32 rng(78);
+    for (int i = 0; i < 2000; ++i) {
+        DirEntry e(1024);
+        unsigned n = 1 + rng.below(4);
+        for (unsigned j = 0; j < n; ++j)
+            e.addSharer(static_cast<NodeId>(rng.below(1024)));
+        DirEntry back = DirEntry::unpack(e.pack(), 1024);
+        EXPECT_TRUE(back == e);
+    }
+}
+
+TEST(DirEntry, PackUnpackRoundTripCoarseAndExclusive)
+{
+    Pcg32 rng(79);
+    for (int i = 0; i < 2000; ++i) {
+        DirEntry e(1024);
+        unsigned n = 5 + rng.below(30);
+        for (unsigned j = 0; j < n; ++j)
+            e.addSharer(static_cast<NodeId>(rng.below(1024)));
+        EXPECT_EQ(e.state(), DirState::SharedCv);
+        EXPECT_TRUE(DirEntry::unpack(e.pack(), 1024) == e);
+
+        DirEntry x(1024);
+        x.setExclusive(static_cast<NodeId>(rng.below(1024)));
+        EXPECT_TRUE(DirEntry::unpack(x.pack(), 1024) == x);
+    }
+    DirEntry empty(1024);
+    EXPECT_TRUE(DirEntry::unpack(empty.pack(), 1024) == empty);
+}
+
+TEST(DirEntry, PropertyNeverMissesTrueSharer)
+{
+    // Whatever sequence of adds happens, every added-and-not-removed
+    // node must be reported by mayBeSharer (the protocol relies on
+    // the directory being conservative).
+    Pcg32 rng(80);
+    for (int trial = 0; trial < 300; ++trial) {
+        unsigned nodes = 8u << rng.below(8); // 8..1024
+        DirEntry e(nodes);
+        std::vector<NodeId> added;
+        unsigned ops = 1 + rng.below(40);
+        for (unsigned i = 0; i < ops; ++i) {
+            NodeId n = static_cast<NodeId>(rng.below(nodes));
+            e.addSharer(n);
+            added.push_back(n);
+        }
+        for (NodeId n : added)
+            EXPECT_TRUE(e.mayBeSharer(n))
+                << "nodes=" << nodes << " n=" << n;
+    }
+}
+
+TEST(DirEntry, GroupSizeMatchesPaperScale)
+{
+    // 1K nodes / 42 bits -> 25 nodes per coarse-vector bit.
+    EXPECT_EQ(DirEntry::groupSize(1024), 25u);
+    EXPECT_EQ(DirEntry::groupSize(42), 1u);
+    EXPECT_EQ(DirEntry::groupSize(2), 1u);
+}
+
+} // namespace
+} // namespace piranha

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for SECDED-over-256-bit ECC (paper §2.5.2): the construction
+ * that frees 44 bits per 64-byte line for directory storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/ecc.h"
+#include "sim/rng.h"
+
+namespace piranha {
+namespace {
+
+EccBlock
+randomBlock(Pcg32 &rng)
+{
+    return EccBlock{rng.next64(), rng.next64(), rng.next64(),
+                    rng.next64()};
+}
+
+TEST(Secded256, CleanDataPasses)
+{
+    Pcg32 rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        EccBlock d = randomBlock(rng);
+        auto check = Secded256::encode(d);
+        EXPECT_EQ(Secded256::decode(d, check), EccResult::Ok);
+    }
+}
+
+TEST(Secded256, BudgetLeaves44DirectoryBits)
+{
+    // 64-byte line = 2 x 256-bit blocks; 64 ECC bits total per line.
+    EXPECT_EQ(2 * Secded256::checkBits, 20u);
+    EXPECT_EQ(64u - 2 * Secded256::checkBits, 44u);
+}
+
+TEST(Secded256, CorrectsEverySingleBitDataError)
+{
+    Pcg32 rng(12);
+    EccBlock orig = randomBlock(rng);
+    auto check = Secded256::encode(orig);
+    for (unsigned bit = 0; bit < 256; ++bit) {
+        EccBlock d = orig;
+        d[bit / 64] ^= 1ULL << (bit % 64);
+        EXPECT_EQ(Secded256::decode(d, check), EccResult::CorrectedData)
+            << "bit " << bit;
+        EXPECT_EQ(d, orig) << "bit " << bit;
+    }
+}
+
+TEST(Secded256, CorrectsCheckBitErrors)
+{
+    Pcg32 rng(13);
+    EccBlock orig = randomBlock(rng);
+    auto check = Secded256::encode(orig);
+    for (unsigned bit = 0; bit < Secded256::checkBits; ++bit) {
+        EccBlock d = orig;
+        auto bad = static_cast<std::uint16_t>(check ^ (1u << bit));
+        EXPECT_EQ(Secded256::decode(d, bad), EccResult::CorrectedCheck)
+            << "check bit " << bit;
+        EXPECT_EQ(d, orig);
+    }
+}
+
+TEST(Secded256, DetectsDoubleBitErrors)
+{
+    Pcg32 rng(14);
+    for (int i = 0; i < 3000; ++i) {
+        EccBlock orig = randomBlock(rng);
+        auto check = Secded256::encode(orig);
+        unsigned b1 = rng.below(256);
+        unsigned b2 = rng.below(256);
+        if (b1 == b2)
+            continue;
+        EccBlock d = orig;
+        d[b1 / 64] ^= 1ULL << (b1 % 64);
+        d[b2 / 64] ^= 1ULL << (b2 % 64);
+        EXPECT_EQ(Secded256::decode(d, check), EccResult::Uncorrectable);
+    }
+}
+
+TEST(Secded256, CheckBitsDependOnData)
+{
+    EccBlock a{0, 0, 0, 0};
+    EccBlock b{1, 0, 0, 0};
+    EXPECT_NE(Secded256::encode(a), Secded256::encode(b));
+}
+
+} // namespace
+} // namespace piranha

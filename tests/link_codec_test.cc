@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit + property tests for the 19-in-22 DC-balanced link code and the
+ * packet CRC (paper §2.6.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "noc/link_codec.h"
+#include "sim/rng.h"
+
+namespace piranha {
+namespace {
+
+TEST(LinkCodec, EveryWordIsDcBalanced)
+{
+    Pcg32 rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        auto data = static_cast<std::uint16_t>(rng.next());
+        auto aux = static_cast<std::uint8_t>(rng.next() & 3);
+        bool inv = rng.chance(0.5);
+        std::uint32_t w = LinkCodec::encode(data, aux, inv);
+        EXPECT_EQ(std::popcount(w), 11) << "word " << std::hex << w;
+        EXPECT_EQ(w >> 22, 0u) << "uses only 22 wires";
+    }
+}
+
+TEST(LinkCodec, RoundTripAllAuxAndInversion)
+{
+    Pcg32 rng(2);
+    for (int i = 0; i < 20000; ++i) {
+        auto data = static_cast<std::uint16_t>(rng.next());
+        auto aux = static_cast<std::uint8_t>(rng.next() & 3);
+        bool inv = rng.chance(0.5);
+        auto decoded = LinkCodec::decode(LinkCodec::encode(data, aux, inv));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->data, data);
+        EXPECT_EQ(decoded->aux, aux);
+        EXPECT_EQ(decoded->inverted, inv);
+    }
+}
+
+TEST(LinkCodec, ExhaustiveRoundTripDataSweep)
+{
+    // All 2^16 data values with both aux and inversion-bit corners.
+    for (unsigned d = 0; d < 65536; ++d) {
+        auto data = static_cast<std::uint16_t>(d);
+        auto dec0 = LinkCodec::decode(LinkCodec::encode(data, 0, false));
+        auto dec1 = LinkCodec::decode(LinkCodec::encode(data, 3, true));
+        ASSERT_TRUE(dec0 && dec1);
+        EXPECT_EQ(dec0->data, data);
+        EXPECT_EQ(dec1->data, data);
+    }
+}
+
+TEST(LinkCodec, NoTwoCodesAreComplementary)
+{
+    // The paper: "By design, the set of codes used to represent 18
+    // bits has no two elements that are complementary", which is what
+    // makes the inversion bit recoverable.
+    Pcg32 rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        auto data = static_cast<std::uint16_t>(rng.next());
+        auto aux = static_cast<std::uint8_t>(rng.next() & 3);
+        std::uint32_t w = LinkCodec::encode(data, aux, false);
+        std::uint32_t comp = ~w & 0x3fffffu;
+        auto dec = LinkCodec::decode(comp);
+        // The complement must decode as "inverted" of the same payload,
+        // never as a different non-inverted payload.
+        ASSERT_TRUE(dec.has_value());
+        EXPECT_TRUE(dec->inverted);
+        EXPECT_EQ(dec->data, data);
+        EXPECT_EQ(dec->aux, aux);
+    }
+}
+
+TEST(LinkCodec, DistinctPayloadsGetDistinctWords)
+{
+    std::set<std::uint32_t> seen;
+    Pcg32 rng(4);
+    for (int i = 0; i < 4096; ++i) {
+        auto data = static_cast<std::uint16_t>(rng.next());
+        auto aux = static_cast<std::uint8_t>(rng.next() & 3);
+        seen.insert(LinkCodec::encode(data, aux, false));
+    }
+    // With random payloads collisions would indicate a broken ranking.
+    EXPECT_GT(seen.size(), 4000u);
+}
+
+TEST(LinkCodec, RejectsUnbalancedWords)
+{
+    EXPECT_FALSE(LinkCodec::decode(0x000000).has_value());
+    EXPECT_FALSE(LinkCodec::decode(0x3fffff).has_value());
+    EXPECT_FALSE(LinkCodec::decode(0x000001).has_value());
+}
+
+TEST(LinkCodec, SingleWireErrorIsDetected)
+{
+    // Flipping one wire always unbalances a balanced word.
+    Pcg32 rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t w = LinkCodec::encode(
+            static_cast<std::uint16_t>(rng.next()),
+            static_cast<std::uint8_t>(rng.next() & 3), rng.chance(0.5));
+        unsigned wire = rng.below(22);
+        EXPECT_FALSE(LinkCodec::decode(w ^ (1u << wire)).has_value());
+    }
+}
+
+TEST(LinkCodec, TimeDomainDcBalanceWithRandomInversion)
+{
+    // With the random 19th bit, each individual wire should be '1'
+    // about half the time even for a constant payload (statistical
+    // DC balance in the time domain, enabling transformer coupling).
+    Pcg32 rng(6);
+    std::array<int, 22> ones{};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        std::uint32_t w = LinkCodec::encode(0xabcd, 1, rng.chance(0.5));
+        for (int b = 0; b < 22; ++b)
+            ones[static_cast<size_t>(b)] += (w >> b) & 1;
+    }
+    for (int b = 0; b < 22; ++b) {
+        double frac = double(ones[static_cast<size_t>(b)]) / n;
+        EXPECT_NEAR(frac, 0.5, 0.03) << "wire " << b;
+    }
+}
+
+TEST(Crc16, KnownVectorAndSensitivity)
+{
+    const std::uint8_t msg[] = {'1', '2', '3', '4', '5',
+                                '6', '7', '8', '9'};
+    // CRC-16/CCITT-FALSE check value for "123456789".
+    EXPECT_EQ(crc16(msg, sizeof(msg)), 0x29B1);
+
+    std::uint8_t corrupted[sizeof(msg)];
+    std::copy(std::begin(msg), std::end(msg), corrupted);
+    corrupted[4] ^= 0x01;
+    EXPECT_NE(crc16(corrupted, sizeof(corrupted)), 0x29B1);
+}
+
+TEST(Crc16, EmptyAndSeedBehaviour)
+{
+    EXPECT_EQ(crc16(nullptr, 0), 0xffff);
+    const std::uint8_t b = 0;
+    EXPECT_NE(crc16(&b, 1), crc16(&b, 1, 0x0000));
+}
+
+} // namespace
+} // namespace piranha

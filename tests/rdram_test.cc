@@ -1,0 +1,143 @@
+/**
+ * @file
+ * RDRAM channel and memory-controller tests (paper §2.4): open-page
+ * timing (60 ns random / 40 ns open-page hit), the keep-open window,
+ * row-buffer capacity, read-after-write ordering and channel
+ * serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_ctrl.h"
+#include "sim/event_queue.h"
+
+namespace piranha {
+namespace {
+
+TEST(Rdram, RandomThenOpenPageLatency)
+{
+    RdramChannel ch;
+    Tick first = ch.access(0x1000, 0);
+    EXPECT_EQ(first, nsToTicks(60));
+    // Same 512-byte page shortly after: open-page hit.
+    Tick second = ch.access(0x1040, nsToTicks(100));
+    EXPECT_EQ(second, nsToTicks(40));
+    // Different page: activation again.
+    Tick third = ch.access(0x9000, nsToTicks(200));
+    EXPECT_EQ(third, nsToTicks(60));
+}
+
+TEST(Rdram, KeepOpenWindowExpires)
+{
+    RdramChannel ch; // keepOpenNs = 1000
+    ch.access(0x1000, 0);
+    EXPECT_EQ(ch.access(0x1000, nsToTicks(900)), nsToTicks(40));
+    EXPECT_EQ(ch.access(0x1000, nsToTicks(5000)), nsToTicks(60));
+}
+
+TEST(Rdram, PageHitStatistics)
+{
+    RdramChannel ch;
+    for (int i = 0; i < 8; ++i)
+        ch.access(0x2000 + i * 64, static_cast<Tick>(i) * 100);
+    EXPECT_EQ(ch.statPageMisses.value(), 1.0);
+    EXPECT_EQ(ch.statPageHits.value(), 7.0);
+}
+
+TEST(Rdram, RowBufferCapacityBounded)
+{
+    RdramParams p;
+    p.maxOpenPages = 4;
+    p.keepOpenNs = 1e9; // never expire by time
+    RdramChannel ch(p);
+    unsigned page_span = p.pageShift + p.channelInterleaveLog2;
+    for (unsigned i = 0; i < 64; ++i)
+        ch.access(static_cast<Addr>(i) << page_span, i);
+    // All distinct pages: no crash, all misses.
+    EXPECT_EQ(ch.statPageMisses.value(), 64.0);
+}
+
+TEST(MemCtrl, ReadReturnsDataAndDirectory)
+{
+    EventQueue eq;
+    BackingStore store;
+    store.poke64(0x4000, 0x1234);
+    store.line(0x4000).dirBits = 0x5555;
+    MemCtrl mc(eq, "mc", store);
+    bool done = false;
+    mc.readLine(0x4000, [&](const LineData &d, std::uint64_t dir) {
+        EXPECT_EQ(d.read(0, 8), 0x1234u);
+        EXPECT_EQ(dir, 0x5555u);
+        done = true;
+    });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_GE(eq.curTick(), nsToTicks(60));
+}
+
+TEST(MemCtrl, PostedWriteVisibleToLaterRead)
+{
+    EventQueue eq;
+    BackingStore store;
+    MemCtrl mc(eq, "mc", store);
+    LineData d;
+    d.write(8, 8, 0xabc);
+    std::uint64_t dir = 7;
+    mc.writeLine(0x8000, &d, &dir);
+    bool done = false;
+    mc.readLine(0x8000, [&](const LineData &rd, std::uint64_t rdir) {
+        EXPECT_EQ(rd.read(8, 8), 0xabcu);
+        EXPECT_EQ(rdir, 7u);
+        done = true;
+    });
+    eq.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(MemCtrl, PartialWritePreservesOtherFields)
+{
+    EventQueue eq;
+    BackingStore store;
+    store.poke64(0xC000, 0x77);
+    store.line(0xC000).dirBits = 9;
+    MemCtrl mc(eq, "mc", store);
+    std::uint64_t dir = 42;
+    mc.writeLine(0xC000, nullptr, &dir); // directory-only update
+    eq.run();
+    EXPECT_EQ(store.peek64(0xC000), 0x77u);
+    EXPECT_EQ(store.peek(0xC000).dirBits, 42u);
+}
+
+TEST(MemCtrl, ChannelSerializesRequests)
+{
+    EventQueue eq;
+    BackingStore store;
+    MemCtrl mc(eq, "mc", store);
+    std::vector<Tick> completions;
+    for (int i = 0; i < 4; ++i) {
+        mc.readLine(0x10000 + i * 0x4000,
+                    [&](const LineData &, std::uint64_t) {
+                        completions.push_back(eq.curTick());
+                    });
+    }
+    eq.run();
+    ASSERT_EQ(completions.size(), 4u);
+    // Transfers occupy the channel for 40 ns each: completions are
+    // spread, not simultaneous.
+    for (size_t i = 1; i < completions.size(); ++i)
+        EXPECT_GE(completions[i] - completions[i - 1], nsToTicks(40));
+}
+
+TEST(BackingStoreTest, SparseMaterialization)
+{
+    BackingStore s;
+    EXPECT_EQ(s.touchedLines(), 0u);
+    EXPECT_EQ(s.peek64(0x123456780), 0u); // peek does not materialize
+    EXPECT_EQ(s.touchedLines(), 0u);
+    s.poke64(0x123456780, 5);
+    EXPECT_EQ(s.touchedLines(), 1u);
+    EXPECT_EQ(s.peek64(0x123456780), 5u);
+}
+
+} // namespace
+} // namespace piranha

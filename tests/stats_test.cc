@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.h"
+
+namespace piranha {
+namespace {
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+    s.set(7);
+    EXPECT_EQ(s.value(), 7.0);
+}
+
+TEST(Ratio, DividesAtReadTime)
+{
+    Scalar num, den;
+    Ratio r(&num, &den);
+    EXPECT_EQ(r.value(), 0.0); // no div by zero
+    num += 10;
+    den += 4;
+    EXPECT_DOUBLE_EQ(r.value(), 2.5);
+    den += 1;
+    EXPECT_DOUBLE_EQ(r.value(), 2.0);
+}
+
+TEST(Histogram, BasicMoments)
+{
+    Histogram h(10.0, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(25);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    EXPECT_DOUBLE_EQ(h.max(), 25.0);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+}
+
+TEST(Histogram, OverflowGoesToLastBucket)
+{
+    Histogram h(1.0, 4);
+    h.sample(1000.0);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Histogram, PercentileApproximation)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(1.0, 10);
+    h.sample(2.0, 3);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(StatGroup, ReportsTree)
+{
+    Scalar hits, misses;
+    hits += 90;
+    misses += 10;
+    StatGroup root("chip");
+    StatGroup child("l2");
+    child.addScalar("hits", &hits, "L2 hits");
+    child.addScalar("misses", &misses, "L2 misses");
+    child.addRatio("hit_rate", Ratio(&hits, &misses), "");
+    root.addChild(&child);
+
+    std::ostringstream os;
+    root.report(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("chip.l2.hits"), std::string::npos);
+    EXPECT_NE(out.find("chip.l2.misses"), std::string::npos);
+    EXPECT_NE(out.find("90"), std::string::npos);
+    EXPECT_NE(out.find("# L2 hits"), std::string::npos);
+}
+
+TEST(StatGroup, ScalarLookup)
+{
+    Scalar s;
+    StatGroup g("g");
+    g.addScalar("x", &s);
+    EXPECT_EQ(g.scalar("x"), &s);
+    EXPECT_EQ(g.scalar("y"), nullptr);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"Config", "OLTP", "DSS"});
+    t.addRow({"P8", "0.35", "0.43"});
+    t.addRow({"OOO", "1.00", "1.00"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Config"), std::string::npos);
+    EXPECT_NE(out.find("P8"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(2.888, 2), "2.89");
+    EXPECT_EQ(TextTable::fmt(2.0, 1), "2.0");
+}
+
+TEST(TextTable, WrongArityPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "arity");
+}
+
+} // namespace
+} // namespace piranha
