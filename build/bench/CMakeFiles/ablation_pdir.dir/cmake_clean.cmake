@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pdir.dir/ablation_pdir.cc.o"
+  "CMakeFiles/ablation_pdir.dir/ablation_pdir.cc.o.d"
+  "ablation_pdir"
+  "ablation_pdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmi_invalidate.dir/cmi_invalidate.cc.o"
+  "CMakeFiles/cmi_invalidate.dir/cmi_invalidate.cc.o.d"
+  "cmi_invalidate"
+  "cmi_invalidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmi_invalidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_single_chip.dir/fig5_single_chip.cc.o"
+  "CMakeFiles/fig5_single_chip.dir/fig5_single_chip.cc.o.d"
+  "fig5_single_chip"
+  "fig5_single_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_single_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

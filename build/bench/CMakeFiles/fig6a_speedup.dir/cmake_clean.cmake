@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_speedup.dir/fig6a_speedup.cc.o"
+  "CMakeFiles/fig6a_speedup.dir/fig6a_speedup.cc.o.d"
+  "fig6a_speedup"
+  "fig6a_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_l1miss.dir/fig6b_l1miss.cc.o"
+  "CMakeFiles/fig6b_l1miss.dir/fig6b_l1miss.cc.o.d"
+  "fig6b_l1miss"
+  "fig6b_l1miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_l1miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

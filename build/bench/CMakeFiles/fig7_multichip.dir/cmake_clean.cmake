@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multichip.dir/fig7_multichip.cc.o"
+  "CMakeFiles/fig7_multichip.dir/fig7_multichip.cc.o.d"
+  "fig7_multichip"
+  "fig7_multichip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multichip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fullcustom.dir/fig8_fullcustom.cc.o"
+  "CMakeFiles/fig8_fullcustom.dir/fig8_fullcustom.cc.o.d"
+  "fig8_fullcustom"
+  "fig8_fullcustom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fullcustom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

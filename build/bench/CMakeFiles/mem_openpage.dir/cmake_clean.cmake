@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_openpage.dir/mem_openpage.cc.o"
+  "CMakeFiles/mem_openpage.dir/mem_openpage.cc.o.d"
+  "mem_openpage"
+  "mem_openpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_openpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_sensitivity.dir/sens_sensitivity.cc.o"
+  "CMakeFiles/sens_sensitivity.dir/sens_sensitivity.cc.o.d"
+  "sens_sensitivity"
+  "sens_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

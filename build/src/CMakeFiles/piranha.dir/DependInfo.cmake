@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/l1_cache.cc" "src/CMakeFiles/piranha.dir/cache/l1_cache.cc.o" "gcc" "src/CMakeFiles/piranha.dir/cache/l1_cache.cc.o.d"
+  "/root/repo/src/cache/l2_bank.cc" "src/CMakeFiles/piranha.dir/cache/l2_bank.cc.o" "gcc" "src/CMakeFiles/piranha.dir/cache/l2_bank.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/piranha.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/piranha.dir/cpu/core.cc.o.d"
+  "/root/repo/src/ics/intra_chip_switch.cc" "src/CMakeFiles/piranha.dir/ics/intra_chip_switch.cc.o" "gcc" "src/CMakeFiles/piranha.dir/ics/intra_chip_switch.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/piranha.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/piranha.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/piranha.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/piranha.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/isa_core.cc" "src/CMakeFiles/piranha.dir/isa/isa_core.cc.o" "gcc" "src/CMakeFiles/piranha.dir/isa/isa_core.cc.o.d"
+  "/root/repo/src/mem/coherence_types.cc" "src/CMakeFiles/piranha.dir/mem/coherence_types.cc.o" "gcc" "src/CMakeFiles/piranha.dir/mem/coherence_types.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/piranha.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/piranha.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/ecc.cc" "src/CMakeFiles/piranha.dir/mem/ecc.cc.o" "gcc" "src/CMakeFiles/piranha.dir/mem/ecc.cc.o.d"
+  "/root/repo/src/mem/mem_ctrl.cc" "src/CMakeFiles/piranha.dir/mem/mem_ctrl.cc.o" "gcc" "src/CMakeFiles/piranha.dir/mem/mem_ctrl.cc.o.d"
+  "/root/repo/src/noc/link_codec.cc" "src/CMakeFiles/piranha.dir/noc/link_codec.cc.o" "gcc" "src/CMakeFiles/piranha.dir/noc/link_codec.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/piranha.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/piranha.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/CMakeFiles/piranha.dir/noc/packet.cc.o" "gcc" "src/CMakeFiles/piranha.dir/noc/packet.cc.o.d"
+  "/root/repo/src/proto/home_program.cc" "src/CMakeFiles/piranha.dir/proto/home_program.cc.o" "gcc" "src/CMakeFiles/piranha.dir/proto/home_program.cc.o.d"
+  "/root/repo/src/proto/microcode.cc" "src/CMakeFiles/piranha.dir/proto/microcode.cc.o" "gcc" "src/CMakeFiles/piranha.dir/proto/microcode.cc.o.d"
+  "/root/repo/src/proto/protocol_engine.cc" "src/CMakeFiles/piranha.dir/proto/protocol_engine.cc.o" "gcc" "src/CMakeFiles/piranha.dir/proto/protocol_engine.cc.o.d"
+  "/root/repo/src/proto/remote_program.cc" "src/CMakeFiles/piranha.dir/proto/remote_program.cc.o" "gcc" "src/CMakeFiles/piranha.dir/proto/remote_program.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/piranha.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/piranha.dir/sim/logging.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/piranha.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/piranha.dir/stats/stats.cc.o.d"
+  "/root/repo/src/system/chip.cc" "src/CMakeFiles/piranha.dir/system/chip.cc.o" "gcc" "src/CMakeFiles/piranha.dir/system/chip.cc.o.d"
+  "/root/repo/src/system/config.cc" "src/CMakeFiles/piranha.dir/system/config.cc.o" "gcc" "src/CMakeFiles/piranha.dir/system/config.cc.o.d"
+  "/root/repo/src/system/sim_system.cc" "src/CMakeFiles/piranha.dir/system/sim_system.cc.o" "gcc" "src/CMakeFiles/piranha.dir/system/sim_system.cc.o.d"
+  "/root/repo/src/workload/dss.cc" "src/CMakeFiles/piranha.dir/workload/dss.cc.o" "gcc" "src/CMakeFiles/piranha.dir/workload/dss.cc.o.d"
+  "/root/repo/src/workload/oltp.cc" "src/CMakeFiles/piranha.dir/workload/oltp.cc.o" "gcc" "src/CMakeFiles/piranha.dir/workload/oltp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_random_test.dir/coherence_random_test.cc.o"
+  "CMakeFiles/coherence_random_test.dir/coherence_random_test.cc.o.d"
+  "coherence_random_test"
+  "coherence_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

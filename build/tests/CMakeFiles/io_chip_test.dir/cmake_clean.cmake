@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_chip_test.dir/io_chip_test.cc.o"
+  "CMakeFiles/io_chip_test.dir/io_chip_test.cc.o.d"
+  "io_chip_test"
+  "io_chip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

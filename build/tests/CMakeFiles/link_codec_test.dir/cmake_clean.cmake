@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_codec_test.dir/link_codec_test.cc.o"
+  "CMakeFiles/link_codec_test.dir/link_codec_test.cc.o.d"
+  "link_codec_test"
+  "link_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

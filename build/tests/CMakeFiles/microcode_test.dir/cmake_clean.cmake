@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_test.dir/microcode_test.cc.o"
+  "CMakeFiles/microcode_test.dir/microcode_test.cc.o.d"
+  "microcode_test"
+  "microcode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

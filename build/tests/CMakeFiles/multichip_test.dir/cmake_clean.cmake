@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichip_test.dir/multichip_test.cc.o"
+  "CMakeFiles/multichip_test.dir/multichip_test.cc.o.d"
+  "multichip_test"
+  "multichip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdram_test.dir/rdram_test.cc.o"
+  "CMakeFiles/rdram_test.dir/rdram_test.cc.o.d"
+  "rdram_test"
+  "rdram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

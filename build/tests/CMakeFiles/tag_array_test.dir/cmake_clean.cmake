@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_array_test.dir/tag_array_test.cc.o"
+  "CMakeFiles/tag_array_test.dir/tag_array_test.cc.o.d"
+  "tag_array_test"
+  "tag_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
