@@ -9,7 +9,9 @@
 #define PIRANHA_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/piranha.h"
 #include "stats/stats.h"
@@ -57,6 +59,47 @@ printBreakdownTable(const std::vector<RunResult> &rows,
     }
     t.print(std::cout);
 }
+
+/**
+ * Common CLI of the harness-based benches: `--threads N`, `--serial`,
+ * `--json FILE` (sweep report output). Unknown arguments are ignored
+ * so figure benches stay runnable as plain `build/bench/<name>`.
+ */
+struct SweepCli
+{
+    SweepOptions opts;
+    std::string jsonPath;
+
+    static SweepCli
+    parse(int argc, char **argv)
+    {
+        SweepCli cli;
+        cli.opts.progress = &std::cerr;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--threads" && i + 1 < argc)
+                cli.opts.threads =
+                    static_cast<unsigned>(std::atoi(argv[++i]));
+            else if (arg == "--serial")
+                cli.opts.threads = 1;
+            else if (arg == "--json" && i + 1 < argc)
+                cli.jsonPath = argv[++i];
+        }
+        return cli;
+    }
+
+    /** Write the report when --json was given; true on success. */
+    bool
+    maybeWriteJson(const SweepReport &report) const
+    {
+        if (jsonPath.empty())
+            return true;
+        if (!report.writeJsonFile(jsonPath))
+            return false;
+        std::cout << "\nreport written to " << jsonPath << "\n";
+        return true;
+    }
+};
 
 /** Print the L1-miss service breakdown (Fig. 6b categories). */
 inline void

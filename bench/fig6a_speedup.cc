@@ -7,6 +7,12 @@
  * through the shared L2, and the effectiveness of the non-inclusive
  * cache hierarchy. The OOO chip's relative performance is shown for
  * reference.
+ *
+ * Runs as a sweep on the experiment harness: the five configurations
+ * execute in parallel across host threads (results are identical to
+ * a serial run — each point is its own EventQueue universe), and
+ * `--json FILE` exports the full machine-readable report. The text
+ * table below is a rendering of those results.
  */
 
 #include "bench_util.h"
@@ -14,32 +20,45 @@
 using namespace piranha;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "=== Figure 6(a): OLTP speedup vs on-chip CPUs ===\n\n";
 
-    OltpWorkload wl;
+    SweepCli cli = SweepCli::parse(argc, argv);
+
     std::vector<unsigned> cpus = {1, 2, 4, 8};
-    std::vector<RunResult> rows;
-    for (unsigned n : cpus) {
-        OltpWorkload w; // fresh shared state per run
-        rows.push_back(
-            runFixedWork(configPn(n), w, kOltpTotalTxns));
+    SweepSpec spec("fig6a");
+    for (unsigned n : cpus)
+        spec.addConfig(configPn(n));
+    spec.addConfig(configOOO());
+    // Fresh shared state (log lock, cursors) per run, built by the
+    // factory inside whichever worker thread executes the job.
+    spec.addWorkload(
+        "OLTP", [] { return std::make_unique<OltpWorkload>(); },
+        kOltpTotalTxns);
+
+    SweepReport report = SweepRunner(cli.opts).run(spec);
+    if (report.count(JobStatus::Ok) != report.jobs.size()) {
+        std::cerr << "sweep had failing jobs\n";
+        return 1;
     }
-    OltpWorkload w2;
-    RunResult ooo = runFixedWork(configOOO(), w2, kOltpTotalTxns);
+
+    const JobResult &p1 = report.jobs.front();
+    const JobResult &ooo = report.jobs.back();
 
     TextTable t({"CPUs", "Speedup vs P1", "OOO reference"});
-    const RunResult &p1 = rows[0];
     for (std::size_t i = 0; i < cpus.size(); ++i) {
-        double sp = double(p1.execTime) / double(rows[i].execTime);
+        const JobResult &row = report.jobs[i];
+        double sp = double(p1.run.execTime) / double(row.run.execTime);
         double vs_ooo =
-            double(p1.execTime) / double(ooo.execTime);
+            double(p1.run.execTime) / double(ooo.run.execTime);
         t.addRow({strFormat("%u", cpus[i]), TextTable::fmt(sp, 2),
                   i == 0 ? TextTable::fmt(vs_ooo, 2) : ""});
     }
     t.print(std::cout);
-    double sp8 = double(p1.execTime) / double(rows.back().execTime);
+    double sp8 = double(p1.run.execTime) /
+                 double(report.jobs[cpus.size() - 1].run.execTime);
     std::printf("\nP8 speedup over P1: %.2fx (paper: ~7x)\n", sp8);
-    return 0;
+
+    return cli.maybeWriteJson(report) ? 0 : 1;
 }

@@ -7,40 +7,76 @@
  *     direct-mapped L1s, L2 latencies of 22 ns (hit) / 32 ns (fwd) —
  *     increase execution time by ~29% but P8 still holds a 2.25x
  *     advantage over OOO on OLTP.
+ *
+ * All five measurement points run as one harness sweep (parallel
+ * across host threads, deterministic per point); `--json FILE`
+ * exports the machine-readable report the printed lines are rendered
+ * from.
  */
 
 #include "bench_util.h"
 
 using namespace piranha;
 
+namespace {
+
+WorkloadFactory
+tpccFactory()
+{
+    return [] {
+        return std::make_unique<OltpWorkload>(
+            OltpWorkload::tpccParams(), 1, "OLTP(TPC-C)");
+    };
+}
+
+SweepPoint
+tpccPoint(SystemConfig cfg)
+{
+    SweepPoint pt;
+    pt.label = cfg.name + "/TPC-C";
+    pt.config = std::move(cfg);
+    pt.workload = WorkloadDecl{"TPC-C", tpccFactory(), 800};
+    return pt;
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "=== Sensitivity study (paper §4 text) ===\n\n";
 
-    {
-        OltpWorkload tpcc_a(OltpWorkload::tpccParams(), 1,
-                            "OLTP(TPC-C)");
-        OltpWorkload tpcc_b(OltpWorkload::tpccParams(), 1,
-                            "OLTP(TPC-C)");
-        RunResult ooo = runFixedWork(configOOO(), tpcc_a, 800);
-        RunResult p8 = runFixedWork(configP8(), tpcc_b, 800);
-        std::printf("TPC-C-like: P8 vs OOO %.2fx (paper: >3x)\n\n",
-                    double(ooo.execTime) / double(p8.execTime));
+    SweepCli cli = SweepCli::parse(argc, argv);
+
+    SweepSpec spec("sens");
+    spec.addConfig(configP8())
+        .addConfig(configP8Pessimistic())
+        .addConfig(configOOO())
+        .addWorkload(
+            "OLTP", [] { return std::make_unique<OltpWorkload>(); },
+            kOltpTotalTxns);
+    spec.addPoint(tpccPoint(configOOO()));
+    spec.addPoint(tpccPoint(configP8()));
+
+    SweepReport report = SweepRunner(cli.opts).run(spec);
+    if (report.count(JobStatus::Ok) != report.jobs.size()) {
+        std::cerr << "sweep had failing jobs\n";
+        return 1;
     }
 
-    {
-        OltpWorkload a, b, c;
-        RunResult p8 = runFixedWork(configP8(), a, kOltpTotalTxns);
-        RunResult pess =
-            runFixedWork(configP8Pessimistic(), b, kOltpTotalTxns);
-        RunResult ooo = runFixedWork(configOOO(), c, kOltpTotalTxns);
-        double slowdown = double(pess.execTime) / double(p8.execTime);
-        double adv = double(ooo.execTime) / double(pess.execTime);
-        std::printf("pessimistic P8 (400MHz, 32KB 1-way L1): "
-                    "+%.0f%% time (paper: +29%%), still %.2fx over "
-                    "OOO (paper: 2.25x)\n",
-                    100 * (slowdown - 1), adv);
-    }
-    return 0;
+    auto exec = [&](const char *label) {
+        return double(report.job(label)->run.execTime);
+    };
+
+    std::printf("TPC-C-like: P8 vs OOO %.2fx (paper: >3x)\n\n",
+                exec("OOO/TPC-C") / exec("P8/TPC-C"));
+
+    double slowdown = exec("P8-pess/OLTP") / exec("P8/OLTP");
+    double adv = exec("OOO/OLTP") / exec("P8-pess/OLTP");
+    std::printf("pessimistic P8 (400MHz, 32KB 1-way L1): "
+                "+%.0f%% time (paper: +29%%), still %.2fx over "
+                "OOO (paper: 2.25x)\n",
+                100 * (slowdown - 1), adv);
+
+    return cli.maybeWriteJson(report) ? 0 : 1;
 }

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Generic sweep driver: runs a named experiment sweep from the
+ * registry below on a host-thread pool and writes a machine-readable
+ * JSON report next to the live progress lines.
+ *
+ * Usage:
+ *   sweep_main --list
+ *   sweep_main <sweep> [--threads N] [--serial] [--json FILE]
+ *              [--timeout SEC] [--no-stat-tree] [--verify]
+ *
+ * --verify runs the sweep twice — serial, then on the thread pool —
+ * and checks that every job's stats (including the full StatGroup
+ * snapshot) are bit-identical, printing the parallel speedup. This is
+ * the determinism guarantee the harness is built on: each job is its
+ * own EventQueue universe, so host-thread scheduling cannot perturb
+ * simulated results.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+
+using namespace piranha;
+
+namespace {
+
+SweepSpec
+sweepFig5()
+{
+    SweepSpec s("fig5");
+    s.addConfig(configP1())
+        .addConfig(configINO())
+        .addConfig(configOOO())
+        .addConfig(configP8())
+        .addWorkload(
+            "OLTP", [] { return std::make_unique<OltpWorkload>(); },
+            kOltpTotalTxns)
+        .addWorkload(
+            "DSS", [] { return std::make_unique<DssWorkload>(); },
+            kDssTotalChunks);
+    return s;
+}
+
+SweepSpec
+sweepFig6a()
+{
+    SweepSpec s("fig6a");
+    for (unsigned n : {1u, 2u, 4u, 8u})
+        s.addConfig(configPn(n));
+    s.addConfig(configOOO());
+    s.addWorkload(
+        "OLTP", [] { return std::make_unique<OltpWorkload>(); },
+        kOltpTotalTxns);
+    return s;
+}
+
+SweepSpec
+sweepFig8()
+{
+    SweepSpec s("fig8");
+    s.addConfig(configOOO())
+        .addConfig(configP8())
+        .addConfig(configP8F())
+        .addWorkload(
+            "OLTP", [] { return std::make_unique<OltpWorkload>(); },
+            kOltpTotalTxns)
+        .addWorkload(
+            "DSS", [] { return std::make_unique<DssWorkload>(); },
+            kDssTotalChunks);
+    return s;
+}
+
+SweepSpec
+sweepSens()
+{
+    SweepSpec s("sens");
+    s.addConfig(configP8())
+        .addConfig(configP8Pessimistic())
+        .addConfig(configOOO())
+        .addWorkload(
+            "OLTP", [] { return std::make_unique<OltpWorkload>(); },
+            kOltpTotalTxns)
+        .addWorkload(
+            "OLTP-C",
+            [] {
+                return std::make_unique<OltpWorkload>(
+                    OltpWorkload::tpccParams(), 1, "OLTP(TPC-C)");
+            },
+            800);
+    return s;
+}
+
+/** Small grid for smoke checks and harness demos. */
+SweepSpec
+sweepQuick()
+{
+    SweepSpec s("quick");
+    for (unsigned n : {1u, 2u, 4u, 8u})
+        s.addConfig(configPn(n));
+    s.addWorkload(
+        "OLTP", [] { return std::make_unique<OltpWorkload>(); }, 128)
+        .addWorkload(
+            "DSS", [] { return std::make_unique<DssWorkload>(); }, 16);
+    return s;
+}
+
+struct SweepEntry
+{
+    const char *name;
+    const char *desc;
+    SweepSpec (*make)();
+};
+
+const SweepEntry kSweeps[] = {
+    {"fig5", "single-chip configs x {OLTP, DSS} (8 points)", sweepFig5},
+    {"fig6a", "P1..P8 + OOO under OLTP (5 points)", sweepFig6a},
+    {"fig8", "full-custom potential x {OLTP, DSS} (6 points)",
+     sweepFig8},
+    {"sens", "sensitivity configs x {TPC-B, TPC-C} (6 points)",
+     sweepSens},
+    {"quick", "reduced-work 8-point grid for smoke checks", sweepQuick},
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: sweep_main <sweep> [options]\n"
+        << "       sweep_main --list\n\n"
+        << "options:\n"
+        << "  --threads N     worker threads (default: all cores)\n"
+        << "  --serial        same as --threads 1\n"
+        << "  --json FILE     write the JSON report to FILE\n"
+        << "  --timeout SEC   per-job host wall-clock timeout\n"
+        << "  --no-stat-tree  omit full StatGroup snapshots\n"
+        << "  --verify        serial vs parallel bit-identity check\n";
+    return 2;
+}
+
+/** Per-job comparison key: flat stats + full stat tree, no timings. */
+std::string
+comparableKey(const JobResult &j)
+{
+    std::string key = j.label;
+    key += '|';
+    key += jobStatusName(j.status);
+    for (const auto &[k, v] : j.stats) {
+        key += '|';
+        key += k;
+        key += '=';
+        key += JsonValue(v).dump(0);
+    }
+    key += '|';
+    key += j.statTree.dump(0);
+    return key;
+}
+
+int
+runVerify(const SweepSpec &spec, SweepOptions opts)
+{
+    SweepOptions serial = opts;
+    serial.threads = 1;
+    serial.progress = nullptr;
+    std::cout << "verify: serial pass..." << std::endl;
+    SweepReport a = SweepRunner(serial).run(spec);
+    std::cout << "verify: parallel pass ("
+              << SweepRunner(opts).effectiveThreads(a.jobs.size())
+              << " threads)..." << std::endl;
+    SweepOptions par = opts;
+    par.progress = nullptr;
+    SweepReport b = SweepRunner(par).run(spec);
+
+    bool identical = a.jobs.size() == b.jobs.size();
+    for (size_t i = 0; identical && i < a.jobs.size(); ++i) {
+        if (comparableKey(a.jobs[i]) != comparableKey(b.jobs[i])) {
+            std::cout << "MISMATCH at job " << a.jobs[i].label << "\n";
+            identical = false;
+        }
+    }
+    double speedup =
+        b.hostSeconds > 0 ? a.hostSeconds / b.hostSeconds : 0;
+    std::printf("verify: %zu jobs, serial %.2fs, parallel %.2fs "
+                "(%.2fx), results %s\n",
+                a.jobs.size(), a.hostSeconds, b.hostSeconds, speedup,
+                identical ? "bit-identical" : "DIFFER");
+    return identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string sweep_name, json_path;
+    SweepOptions opts;
+    opts.progress = &std::cerr;
+    bool verify = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const SweepEntry &e : kSweeps)
+                std::printf("%-8s %s\n", e.name, e.desc);
+            return 0;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--serial") {
+            opts.threads = 1;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--timeout" && i + 1 < argc) {
+            opts.jobTimeoutSec = std::atof(argv[++i]);
+        } else if (arg == "--no-stat-tree") {
+            opts.captureStatTree = false;
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (!arg.empty() && arg[0] != '-' && sweep_name.empty()) {
+            sweep_name = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (sweep_name.empty())
+        return usage();
+
+    const SweepEntry *entry = nullptr;
+    for (const SweepEntry &e : kSweeps)
+        if (sweep_name == e.name)
+            entry = &e;
+    if (!entry) {
+        std::cerr << "unknown sweep \"" << sweep_name
+                  << "\" (try --list)\n";
+        return 2;
+    }
+
+    SweepSpec spec = entry->make();
+    if (verify)
+        return runVerify(spec, opts);
+
+    SweepReport report = SweepRunner(opts).run(spec);
+
+    TextTable t({"Job", "Status", "ExecTime(ms)", "Busy%", "Host(s)"});
+    for (const JobResult &j : report.jobs) {
+        bool ok = j.status == JobStatus::Ok;
+        t.addRow({j.label, jobStatusName(j.status),
+                  ok ? TextTable::fmt(ms(j.run.execTime), 3) : "-",
+                  ok ? TextTable::fmt(100 * j.run.busyFrac, 1) : "-",
+                  TextTable::fmt(j.hostSeconds, 2)});
+    }
+    t.print(std::cout);
+    std::printf("\n%zu jobs on %u threads in %.2fs host time\n",
+                report.jobs.size(), report.threads,
+                report.hostSeconds);
+
+    if (!json_path.empty()) {
+        if (!report.writeJsonFile(json_path))
+            return 1;
+        std::cout << "report written to " << json_path << "\n";
+    }
+    unsigned bad = report.count(JobStatus::Failed) +
+                   report.count(JobStatus::TimedOut);
+    return bad ? 1 : 0;
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification, as CI runs it: configure with warnings promoted
+# to errors on the library targets, build everything, run the full
+# test suite. Usage: scripts/ci.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPIRANHA_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -23,11 +23,15 @@
  *  - cpu/    in-order (Piranha) and out-of-order (baseline) cores
  *  - workload/ OLTP / DSS / TPC-C synthetic generators
  *  - system/ chip & system assembly, Table-1 configurations
+ *  - harness/ parallel experiment sweeps with JSON result export
  */
 
 #ifndef PIRANHA_CORE_PIRANHA_H
 #define PIRANHA_CORE_PIRANHA_H
 
+#include "harness/sweep.h"
+#include "harness/sweep_runner.h"
+#include "stats/json_writer.h"
 #include "system/config.h"
 #include "system/sim_system.h"
 #include "workload/dss.h"

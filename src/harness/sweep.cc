@@ -1,0 +1,159 @@
+#include "harness/sweep.h"
+
+#include <fstream>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+SweepSpec &
+SweepSpec::addConfig(SystemConfig cfg)
+{
+    configs.push_back(std::move(cfg));
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::addWorkload(std::string wl_name, WorkloadFactory make,
+                       std::uint64_t total_work)
+{
+    workloads.push_back(
+        WorkloadDecl{std::move(wl_name), std::move(make), total_work});
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::addPoint(SweepPoint pt)
+{
+    extraPoints.push_back(std::move(pt));
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::withMaxTime(Tick t)
+{
+    maxTime = t;
+    return *this;
+}
+
+std::vector<SweepPoint>
+SweepSpec::expand() const
+{
+    std::vector<SweepPoint> pts;
+    pts.reserve(configs.size() * workloads.size() + extraPoints.size());
+    for (const SystemConfig &cfg : configs) {
+        for (const WorkloadDecl &wl : workloads) {
+            SweepPoint pt;
+            pt.label = cfg.name + "/" + wl.name;
+            pt.config = cfg;
+            pt.workload = wl;
+            pt.maxTime = maxTime;
+            pts.push_back(std::move(pt));
+        }
+    }
+    for (const SweepPoint &pt : extraPoints)
+        pts.push_back(pt);
+    return pts;
+}
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::TimedOut: return "timed_out";
+    }
+    return "?";
+}
+
+std::map<std::string, double>
+flattenRunResult(const RunResult &r)
+{
+    std::map<std::string, double> m;
+    m["exec_time_ps"] = static_cast<double>(r.execTime);
+    m["work"] = static_cast<double>(r.work);
+    m["throughput"] = r.throughput();
+    m["busy_frac"] = r.busyFrac;
+    m["l2_hit_stall_frac"] = r.l2HitStallFrac;
+    m["l2_miss_stall_frac"] = r.l2MissStallFrac;
+    m["idle_frac"] = r.idleFrac;
+    m["instructions"] = r.instructions;
+    m["rdram_page_hit_rate"] = r.rdramPageHitRate;
+    m["miss_l2_hit"] = r.misses.l2Hit;
+    m["miss_l2_fwd"] = r.misses.l2Fwd;
+    m["miss_mem_local"] = r.misses.memLocal;
+    m["miss_mem_remote"] = r.misses.memRemote;
+    m["miss_remote_dirty"] = r.misses.remoteDirty;
+    return m;
+}
+
+const JobResult *
+SweepReport::job(const std::string &label) const
+{
+    for (const JobResult &j : jobs)
+        if (j.label == label)
+            return &j;
+    return nullptr;
+}
+
+unsigned
+SweepReport::count(JobStatus s) const
+{
+    unsigned n = 0;
+    for (const JobResult &j : jobs)
+        n += j.status == s;
+    return n;
+}
+
+JsonValue
+SweepReport::toJson(bool include_stat_tree) const
+{
+    JsonValue root = JsonValue::object();
+    root.set("sweep", name);
+    root.set("threads", static_cast<double>(threads));
+    root.set("host_seconds", hostSeconds);
+    root.set("jobs_total", static_cast<double>(jobs.size()));
+    root.set("jobs_failed",
+             static_cast<double>(count(JobStatus::Failed) +
+                                 count(JobStatus::TimedOut)));
+
+    JsonValue jarr = JsonValue::array();
+    for (const JobResult &j : jobs) {
+        JsonValue jo = JsonValue::object();
+        jo.set("label", j.label);
+        jo.set("status", jobStatusName(j.status));
+        jo.set("config", j.run.config);
+        jo.set("workload", j.run.workload);
+        jo.set("host_seconds", j.hostSeconds);
+        if (!j.error.empty())
+            jo.set("error", j.error);
+        if (j.status == JobStatus::Ok) {
+            JsonValue stats = JsonValue::object();
+            for (const auto &[k, v] : j.stats)
+                stats.set(k, v);
+            jo.set("stats", std::move(stats));
+            if (include_stat_tree && !j.statTree.isNull())
+                jo.set("stat_tree", j.statTree);
+        }
+        jarr.append(std::move(jo));
+    }
+    root.set("jobs", std::move(jarr));
+    return root;
+}
+
+bool
+SweepReport::writeJsonFile(const std::string &path,
+                           bool include_stat_tree) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    toJson(include_stat_tree).write(os, 2);
+    os << "\n";
+    return os.good();
+}
+
+} // namespace piranha

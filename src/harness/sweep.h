@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment-sweep declarations.
+ *
+ * Every figure in the paper is a sweep over configurations (core
+ * counts, cache parameters, chip counts) crossed with workloads. A
+ * SweepSpec declares that grid once; expand() turns it into a flat
+ * vector of SweepPoints, each of which is a fully self-contained job:
+ * its own SystemConfig plus a factory that builds a fresh Workload.
+ * Because a job constructs its own PiranhaSystem and EventQueue when
+ * it runs, points are independent deterministic universes — the
+ * runner (sweep_runner.h) can execute them on any number of host
+ * threads without perturbing per-run results.
+ */
+
+#ifndef PIRANHA_HARNESS_SWEEP_H
+#define PIRANHA_HARNESS_SWEEP_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/json.h"
+#include "system/config.h"
+#include "system/sim_system.h"
+#include "workload/workload.h"
+
+namespace piranha {
+
+/** Builds a fresh workload instance (fresh shared state) per run. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/** A workload axis entry: name + factory + total work per run. */
+struct WorkloadDecl
+{
+    std::string name;
+    WorkloadFactory make;
+    std::uint64_t totalWork = 0; //!< split across the system's CPUs
+};
+
+/** One runnable job: a configuration under a workload. */
+struct SweepPoint
+{
+    std::string label;   //!< unique within the sweep ("P4/OLTP")
+    SystemConfig config;
+    WorkloadDecl workload;
+    Tick maxTime = 100 * 1000 * ticksPerUs; //!< simulated-time bound
+};
+
+/**
+ * A declared experiment grid: configurations x workloads, plus any
+ * hand-added points that do not fit the cross product.
+ */
+struct SweepSpec
+{
+    explicit SweepSpec(std::string name_ = "sweep")
+        : name(std::move(name_))
+    {}
+
+    std::string name;
+
+    SweepSpec &addConfig(SystemConfig cfg);
+    SweepSpec &addWorkload(std::string wl_name, WorkloadFactory make,
+                           std::uint64_t total_work);
+    SweepSpec &addPoint(SweepPoint pt);
+
+    /** Simulated-time bound applied to every grid point. */
+    SweepSpec &withMaxTime(Tick t);
+
+    /** Grid (configs x workloads, in declaration order) + extras. */
+    std::vector<SweepPoint> expand() const;
+
+    std::vector<SystemConfig> configs;
+    std::vector<WorkloadDecl> workloads;
+    std::vector<SweepPoint> extraPoints;
+    Tick maxTime = 100 * 1000 * ticksPerUs;
+};
+
+/** Outcome of one executed job. */
+enum class JobStatus { Ok, Failed, TimedOut };
+
+const char *jobStatusName(JobStatus s);
+
+/** Result of one executed sweep job. */
+struct JobResult
+{
+    std::string label;
+    JobStatus status = JobStatus::Ok;
+    std::string error;   //!< exception text when status == Failed
+
+    RunResult run;                        //!< valid when status == Ok
+    std::map<std::string, double> stats;  //!< flat named stats from run
+    JsonValue statTree;                   //!< full StatGroup snapshot
+    double hostSeconds = 0;               //!< wall-clock cost of the job
+};
+
+/** Flatten a RunResult into the report's named-stat map. */
+std::map<std::string, double> flattenRunResult(const RunResult &r);
+
+/** Executed sweep: job results in spec order plus execution metadata. */
+struct SweepReport
+{
+    std::string name;
+    unsigned threads = 1;
+    double hostSeconds = 0;
+    std::vector<JobResult> jobs;
+
+    /** Find a job by label (nullptr when absent). */
+    const JobResult *job(const std::string &label) const;
+
+    /** Count of jobs with the given status. */
+    unsigned count(JobStatus s) const;
+
+    /**
+     * Machine-readable report (see DESIGN.md "Sweep harness" for the
+     * schema). @p include_stat_tree controls whether each job embeds
+     * the full StatGroup snapshot or only the flat stats map.
+     */
+    JsonValue toJson(bool include_stat_tree = true) const;
+
+    /** Serialize toJson() to a file; returns false on I/O failure. */
+    bool writeJsonFile(const std::string &path,
+                       bool include_stat_tree = true) const;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_HARNESS_SWEEP_H

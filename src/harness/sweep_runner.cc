@@ -1,0 +1,143 @@
+#include "harness/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "stats/json_writer.h"
+
+namespace piranha {
+
+namespace {
+
+using HostClock = std::chrono::steady_clock;
+
+double
+secondsSince(HostClock::time_point t0)
+{
+    return std::chrono::duration<double>(HostClock::now() - t0).count();
+}
+
+} // namespace
+
+unsigned
+SweepRunner::effectiveThreads(size_t njobs) const
+{
+    unsigned t = _opts.threads;
+    if (t == 0) {
+        t = std::thread::hardware_concurrency();
+        if (t == 0)
+            t = 1;
+    }
+    return static_cast<unsigned>(
+        std::min<size_t>(t, std::max<size_t>(njobs, 1)));
+}
+
+JobResult
+SweepRunner::runJob(const SweepPoint &pt) const
+{
+    JobResult jr;
+    jr.label = pt.label;
+    HostClock::time_point t0 = HostClock::now();
+
+    std::function<bool()> abort_check;
+    if (_opts.jobTimeoutSec > 0) {
+        HostClock::time_point deadline =
+            t0 + std::chrono::duration_cast<HostClock::duration>(
+                     std::chrono::duration<double>(_opts.jobTimeoutSec));
+        abort_check = [deadline] { return HostClock::now() >= deadline; };
+    }
+
+    try {
+        std::unique_ptr<Workload> wl = pt.workload.make();
+        if (!wl)
+            throw std::runtime_error("workload factory returned null");
+        PiranhaSystem sys(pt.config);
+        std::uint64_t per_cpu = std::max<std::uint64_t>(
+            1, pt.workload.totalWork / sys.totalCpus());
+        jr.run = sys.run(*wl, per_cpu, pt.maxTime, abort_check);
+        if (jr.run.aborted && abort_check && abort_check()) {
+            jr.status = JobStatus::TimedOut;
+            jr.error = "host wall-clock timeout";
+        } else {
+            jr.stats = flattenRunResult(jr.run);
+            // Snapshot while the system (which owns the counters) is
+            // still alive.
+            if (_opts.captureStatTree)
+                jr.statTree = statGroupToJson(sys.stats());
+        }
+    } catch (const std::exception &e) {
+        jr.status = JobStatus::Failed;
+        jr.error = e.what();
+    } catch (...) {
+        jr.status = JobStatus::Failed;
+        jr.error = "unknown exception";
+    }
+
+    jr.hostSeconds = secondsSince(t0);
+    return jr;
+}
+
+SweepReport
+SweepRunner::run(const std::string &name,
+                 const std::vector<SweepPoint> &points) const
+{
+    SweepReport report;
+    report.name = name;
+    report.jobs.resize(points.size());
+    unsigned nthreads = effectiveThreads(points.size());
+    report.threads = nthreads;
+
+    HostClock::time_point t0 = HostClock::now();
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> finished{0};
+    std::mutex progress_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            JobResult jr = runJob(points[i]);
+            size_t done = finished.fetch_add(1) + 1;
+            if (_opts.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                *_opts.progress
+                    << "[" << done << "/" << points.size() << "] "
+                    << jr.label << ": " << jobStatusName(jr.status)
+                    << " (" << TextTable::fmt(jr.hostSeconds, 2)
+                    << "s host)";
+                if (!jr.error.empty())
+                    *_opts.progress << " - " << jr.error;
+                *_opts.progress << std::endl;
+            }
+            report.jobs[i] = std::move(jr);
+        }
+    };
+
+    if (nthreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    report.hostSeconds = secondsSince(t0);
+    return report;
+}
+
+SweepReport
+SweepRunner::run(const SweepSpec &spec) const
+{
+    return run(spec.name, spec.expand());
+}
+
+} // namespace piranha

@@ -1,0 +1,437 @@
+#include "stats/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+JsonValue &
+JsonValue::append(JsonValue v)
+{
+    if (_type == Type::Null)
+        _type = Type::Array;
+    if (_type != Type::Array)
+        panic("JsonValue::append on non-array");
+    _items.push_back(std::move(v));
+    return _items.back();
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (_type == Type::Null)
+        _type = Type::Object;
+    if (_type != Type::Object)
+        panic("JsonValue::set on non-object");
+    for (size_t i = 0; i < _keys.size(); ++i) {
+        if (_keys[i] == key) {
+            _items[i] = std::move(v);
+            return _items[i];
+        }
+    }
+    _keys.push_back(key);
+    _items.push_back(std::move(v));
+    return _items.back();
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (_type != Type::Object)
+        return nullptr;
+    for (size_t i = 0; i < _keys.size(); ++i)
+        if (_keys[i] == key)
+            return &_items[i];
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw std::out_of_range("JsonValue: no member \"" + key + "\"");
+    return *v;
+}
+
+const JsonValue &
+JsonValue::at(size_t idx) const
+{
+    if (_type != Type::Array || idx >= _items.size())
+        throw std::out_of_range("JsonValue: array index out of range");
+    return _items[idx];
+}
+
+void
+jsonEscape(std::string &out, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+namespace {
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    // JSON has no Inf/NaN; clamp to null like most serializers.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // Integers up to 2^53 print exactly without an exponent; anything
+    // else uses %.17g so the value round-trips bit-exactly.
+    double rounded = std::nearbyint(v);
+    if (rounded == v && std::fabs(v) < 9007199254740992.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        os << buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+    }
+}
+
+} // namespace
+
+void
+JsonValue::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            os << '\n';
+            for (int i = 0; i < d * indent; ++i)
+                os << ' ';
+        }
+    };
+
+    switch (_type) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (_bool ? "true" : "false");
+        break;
+      case Type::Number:
+        writeNumber(os, _num);
+        break;
+      case Type::String: {
+        std::string esc;
+        jsonEscape(esc, _str);
+        os << '"' << esc << '"';
+        break;
+      }
+      case Type::Array:
+        if (_items.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (size_t i = 0; i < _items.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            _items[i].writeIndented(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << ']';
+        break;
+      case Type::Object:
+        if (_items.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (size_t i = 0; i < _items.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            std::string esc;
+            jsonEscape(esc, _keys[i]);
+            os << '"' << esc << "\":" << (indent > 0 ? " " : "");
+            _items[i].writeIndented(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+JsonValue::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : _text(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (_pos != _text.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        throw JsonParseError("JSON parse error at offset " +
+                             std::to_string(_pos) + ": " + msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    char
+    peek()
+    {
+        if (_pos >= _text.size())
+            fail("unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++_pos;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (_text.substr(_pos, lit.size()) != lit)
+            return false;
+        _pos += lit.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue();
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (peek() == '}') {
+            ++_pos;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            if (c == '}') {
+                ++_pos;
+                return obj;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (peek() == ']') {
+            ++_pos;
+            return arr;
+        }
+        for (;;) {
+            arr.append(parseValue());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            if (c == ']') {
+                ++_pos;
+                return arr;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (_pos >= _text.size())
+                fail("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                fail("unterminated escape");
+            char e = _text[_pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = _text[_pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // Encode the code point as UTF-8 (BMP only; stats
+                // names are ASCII, surrogate pairs are not needed).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '+' ||
+                _text[_pos] == '-'))
+            ++_pos;
+        if (_pos == start)
+            fail("expected a value");
+        std::string num(_text.substr(start, _pos - start));
+        char *end = nullptr;
+        double v = std::strtod(num.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("malformed number \"" + num + "\"");
+        return JsonValue(v);
+    }
+
+    std::string_view _text;
+    size_t _pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace piranha

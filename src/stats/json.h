@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal JSON document model and parser.
+ *
+ * The sweep harness exports every run's statistics as JSON so that
+ * results are machine-readable (plotting scripts, regression diffs,
+ * CI artifacts). JsonValue is a small ordered document model — object
+ * keys keep insertion order so reports are stable and diffable — with
+ * a recursive-descent parser used by the round-trip tests and by any
+ * tool that wants to read a sweep report back.
+ *
+ * Numbers are serialized with max_digits10 precision, so a double
+ * survives a write/parse round trip bit-exactly; the determinism
+ * tests rely on this.
+ */
+
+#ifndef PIRANHA_STATS_JSON_H
+#define PIRANHA_STATS_JSON_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace piranha {
+
+/** Error raised by parseJson() with a position-annotated message. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    explicit JsonParseError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** One JSON value: null, bool, number, string, array or object. */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(bool b) : _type(Type::Bool), _bool(b) {}
+    JsonValue(double v) : _type(Type::Number), _num(v) {}
+    JsonValue(int v) : _type(Type::Number), _num(v) {}
+    JsonValue(std::uint64_t v)
+        : _type(Type::Number), _num(static_cast<double>(v))
+    {}
+    JsonValue(std::string s) : _type(Type::String), _str(std::move(s)) {}
+    JsonValue(const char *s) : _type(Type::String), _str(s) {}
+
+    static JsonValue array() { JsonValue v; v._type = Type::Array; return v; }
+    static JsonValue object() { JsonValue v; v._type = Type::Object; return v; }
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isObject() const { return _type == Type::Object; }
+    bool isArray() const { return _type == Type::Array; }
+    bool isNumber() const { return _type == Type::Number; }
+    bool isString() const { return _type == Type::String; }
+    bool isBool() const { return _type == Type::Bool; }
+
+    bool asBool() const { return _bool; }
+    double asNumber() const { return _num; }
+    const std::string &asString() const { return _str; }
+
+    /** Array elements / object values in insertion order. */
+    const std::vector<JsonValue> &items() const { return _items; }
+    /** Object keys, parallel to items(). */
+    const std::vector<std::string> &keys() const { return _keys; }
+    size_t size() const { return _items.size(); }
+
+    /** Append to an array (sets the type on a null value). */
+    JsonValue &append(JsonValue v);
+
+    /** Set/replace an object member (sets the type on a null value). */
+    JsonValue &set(const std::string &key, JsonValue v);
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member access; throws when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Array element access; throws when out of range. */
+    const JsonValue &at(size_t idx) const;
+
+    /** Serialize; @p indent > 0 pretty-prints with that many spaces. */
+    void write(std::ostream &os, int indent = 2) const;
+    std::string dump(int indent = 2) const;
+
+  private:
+    void writeIndented(std::ostream &os, int indent, int depth) const;
+
+    Type _type = Type::Null;
+    bool _bool = false;
+    double _num = 0;
+    std::string _str;
+    std::vector<std::string> _keys;   // objects only
+    std::vector<JsonValue> _items;    // arrays and objects
+};
+
+/** Append @p s to @p out with JSON string escaping (no quotes added). */
+void jsonEscape(std::string &out, std::string_view s);
+
+/** Parse a complete JSON document; throws JsonParseError on errors. */
+JsonValue parseJson(std::string_view text);
+
+} // namespace piranha
+
+#endif // PIRANHA_STATS_JSON_H

@@ -1,0 +1,67 @@
+#include "stats/json_writer.h"
+
+#include <ostream>
+
+namespace piranha {
+
+JsonValue
+statGroupToJson(const StatGroup &group)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("name", group.name());
+
+    if (!group.scalars().empty()) {
+        JsonValue scalars = JsonValue::object();
+        for (const auto &[n, e] : group.scalars())
+            scalars.set(n, e.s->value());
+        obj.set("scalars", std::move(scalars));
+    }
+
+    if (!group.ratios().empty()) {
+        JsonValue ratios = JsonValue::object();
+        for (const auto &[n, e] : group.ratios())
+            ratios.set(n, e.r.value());
+        obj.set("ratios", std::move(ratios));
+    }
+
+    if (!group.histograms().empty()) {
+        JsonValue hists = JsonValue::object();
+        for (const auto &[n, e] : group.histograms()) {
+            const Histogram &h = *e.h;
+            JsonValue hv = JsonValue::object();
+            hv.set("samples", h.samples());
+            hv.set("mean", h.mean());
+            hv.set("min", h.min());
+            hv.set("max", h.max());
+            hv.set("sum", h.sum());
+            hv.set("bucket_width", h.bucketWidth());
+            JsonValue buckets = JsonValue::array();
+            for (std::uint64_t b : h.buckets())
+                buckets.append(b);
+            hv.set("buckets", std::move(buckets));
+            hv.set("p50", h.percentile(0.50));
+            hv.set("p90", h.percentile(0.90));
+            hv.set("p99", h.percentile(0.99));
+            hists.set(n, std::move(hv));
+        }
+        obj.set("histograms", std::move(hists));
+    }
+
+    if (!group.children().empty()) {
+        JsonValue children = JsonValue::array();
+        for (const StatGroup *c : group.children())
+            children.append(statGroupToJson(*c));
+        obj.set("children", std::move(children));
+    }
+
+    return obj;
+}
+
+void
+writeStatsJson(std::ostream &os, const StatGroup &group, int indent)
+{
+    statGroupToJson(group).write(os, indent);
+    os << "\n";
+}
+
+} // namespace piranha

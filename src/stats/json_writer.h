@@ -1,0 +1,47 @@
+/**
+ * @file
+ * JSON serialization of a StatGroup tree.
+ *
+ * The text report (StatGroup::report) is for humans; this writer
+ * produces the machine-readable form the sweep harness embeds in its
+ * reports. Schema (one object per group):
+ *
+ * ```json
+ * {
+ *   "name": "system",
+ *   "scalars":    { "<stat>": <number>, ... },
+ *   "ratios":     { "<stat>": <number>, ... },
+ *   "histograms": { "<stat>": { "samples": n, "mean": m, "min": lo,
+ *                               "max": hi, "sum": s,
+ *                               "bucket_width": w,
+ *                               "buckets": [n0, n1, ...],
+ *                               "p50": v, "p90": v, "p99": v }, ... },
+ *   "children":   [ <group>, ... ]
+ * }
+ * ```
+ *
+ * Empty sections are omitted. Values are snapshots: the writer reads
+ * the live stat objects at call time, so serialize before tearing
+ * down the simulated system that owns them.
+ */
+
+#ifndef PIRANHA_STATS_JSON_WRITER_H
+#define PIRANHA_STATS_JSON_WRITER_H
+
+#include <iosfwd>
+
+#include "stats/json.h"
+#include "stats/stats.h"
+
+namespace piranha {
+
+/** Snapshot @p group (and its subtree) into a JSON document. */
+JsonValue statGroupToJson(const StatGroup &group);
+
+/** Serialize @p group as pretty-printed JSON onto @p os. */
+void writeStatsJson(std::ostream &os, const StatGroup &group,
+                    int indent = 2);
+
+} // namespace piranha
+
+#endif // PIRANHA_STATS_JSON_WRITER_H

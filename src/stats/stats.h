@@ -70,13 +70,19 @@ class Histogram
     {
         _samples += n;
         _sum += v * static_cast<double>(n);
-        if (v > _max)
+        if (_samples == n || v > _max)
             _max = v;
         if (_samples == n || v < _min)
             _min = v;
-        auto idx = static_cast<size_t>(v / _width);
-        if (idx >= _buckets.size())
-            idx = _buckets.size() - 1;
+        // Negative values would wrap the size_t cast to a huge index;
+        // the histogram covers [0, width*count), so clamp them (and
+        // anything in the first bucket's range) into bucket 0.
+        size_t idx = 0;
+        if (v >= _width) {
+            idx = static_cast<size_t>(v / _width);
+            if (idx >= _buckets.size())
+                idx = _buckets.size() - 1;
+        }
         _buckets[idx] += n;
     }
 
@@ -133,6 +139,10 @@ class Histogram
 class StatGroup
 {
   public:
+    struct ScalarEnt { const Scalar *s; std::string desc; };
+    struct RatioEnt { Ratio r; std::string desc; };
+    struct HistEnt { const Histogram *h; std::string desc; };
+
     explicit StatGroup(std::string name = "") : _name(std::move(name)) {}
 
     /** Register a scalar under @p name with a description. */
@@ -155,11 +165,17 @@ class StatGroup
     /** Look up a registered scalar by local name (nullptr if absent). */
     const Scalar *scalar(const std::string &name) const;
 
-  private:
-    struct ScalarEnt { const Scalar *s; std::string desc; };
-    struct RatioEnt { Ratio r; std::string desc; };
-    struct HistEnt { const Histogram *h; std::string desc; };
+    // Read-only views for serializers (stats/json_writer.*).
+    const std::map<std::string, ScalarEnt> &scalars() const
+    { return _scalars; }
+    const std::map<std::string, RatioEnt> &ratios() const
+    { return _ratios; }
+    const std::map<std::string, HistEnt> &histograms() const
+    { return _hists; }
+    const std::vector<const StatGroup *> &children() const
+    { return _children; }
 
+  private:
     std::string _name;
     std::map<std::string, ScalarEnt> _scalars;
     std::map<std::string, RatioEnt> _ratios;

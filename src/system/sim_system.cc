@@ -40,7 +40,7 @@ PiranhaSystem::PiranhaSystem(const SystemConfig &cfg) : _cfg(cfg)
 
 RunResult
 PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
-                   Tick max_time)
+                   Tick max_time, const std::function<bool()> &should_abort)
 {
     unsigned ncpus = totalCpus();
     CoreParams cp = _cfg.core;
@@ -65,6 +65,8 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
     }
 
     Tick deadline = _eq.curTick() + max_time;
+    bool aborted = false;
+    std::uint64_t iter = 0;
     for (;;) {
         bool all_done = true;
         for (auto &core : _cores)
@@ -73,6 +75,13 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
             break;
         if (_eq.curTick() >= deadline) {
             warn("run hit max_time before completing work");
+            aborted = true;
+            break;
+        }
+        // Poll the host-side abort hook sparsely; a syscall-backed
+        // check (clock read) every event would dominate runtime.
+        if (should_abort && (++iter & 0xFFF) == 0 && should_abort()) {
+            aborted = true;
             break;
         }
         if (!_eq.step())
@@ -82,6 +91,7 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
     RunResult r;
     r.config = _cfg.name;
     r.workload = wl.name();
+    r.aborted = aborted;
     double busy = 0, hit = 0, miss = 0, idle = 0;
     for (unsigned i = 0; i < ncpus; ++i) {
         r.execTime = std::max(r.execTime, _cores[i]->accountedTime());

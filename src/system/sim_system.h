@@ -10,6 +10,7 @@
 #ifndef PIRANHA_SYSTEM_SIM_SYSTEM_H
 #define PIRANHA_SYSTEM_SIM_SYSTEM_H
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,9 @@ struct RunResult
     double instructions = 0;
     double rdramPageHitRate = 0;
 
+    /** True when the run was stopped by an abort check or max_time. */
+    bool aborted = false;
+
     /** Work per second of simulated time (throughput). */
     double
     throughput() const
@@ -61,9 +65,16 @@ class PiranhaSystem
     /**
      * Run @p work_per_cpu work units on every CPU of the system and
      * return the measured result. @p max_time bounds runaway runs.
+     *
+     * @p should_abort, when provided, is polled every few thousand
+     * events; returning true stops the run early with
+     * RunResult::aborted set. The sweep harness uses this for
+     * host-side wall-clock timeouts; the hook costs nothing when
+     * empty and does not perturb simulated behaviour before it fires.
      */
     RunResult run(Workload &wl, std::uint64_t work_per_cpu,
-                  Tick max_time = 100 * 1000 * ticksPerUs);
+                  Tick max_time = 100 * 1000 * ticksPerUs,
+                  const std::function<bool()> &should_abort = {});
 
     PiranhaChip &chip(unsigned n) { return *_chips[n]; }
     unsigned totalCpus() const { return _cfg.nodes * _cfg.cpusPerChip; }

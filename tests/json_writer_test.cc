@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the JSON document model (stats/json.*) and the StatGroup
+ * JSON writer (stats/json_writer.*): nested groups, ratios with zero
+ * denominators, histogram buckets/percentiles — all validated by
+ * parsing the serialized output back and comparing values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/json.h"
+#include "stats/json_writer.h"
+#include "stats/stats.h"
+
+namespace piranha {
+namespace {
+
+TEST(Json, BuildAndDumpScalars)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("str", "hello");
+    obj.set("num", 2.5);
+    obj.set("int", 42);
+    obj.set("yes", true);
+    obj.set("nothing", JsonValue());
+    std::string s = obj.dump(0);
+    EXPECT_EQ(s, "{\"str\":\"hello\",\"num\":2.5,\"int\":42,"
+                 "\"yes\":true,\"nothing\":null}");
+}
+
+TEST(Json, EscapesStrings)
+{
+    JsonValue v(std::string("a\"b\\c\n\tz"));
+    EXPECT_EQ(v.dump(0), "\"a\\\"b\\\\c\\n\\tz\"");
+    JsonValue parsed = parseJson(v.dump(0));
+    EXPECT_EQ(parsed.asString(), "a\"b\\c\n\tz");
+}
+
+TEST(Json, ParsesDocument)
+{
+    JsonValue v = parseJson(R"({
+        "name": "x",
+        "vals": [1, 2.5, -3e2],
+        "nested": {"ok": true, "null": null},
+        "esc": "tab\there A"
+    })");
+    EXPECT_EQ(v.at("name").asString(), "x");
+    EXPECT_EQ(v.at("vals").size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("vals").at(2).asNumber(), -300.0);
+    EXPECT_TRUE(v.at("nested").at("ok").asBool());
+    EXPECT_TRUE(v.at("nested").at("null").isNull());
+    EXPECT_EQ(v.at("esc").asString(), "tab\there A");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{"), JsonParseError);
+    EXPECT_THROW(parseJson("[1,]"), JsonParseError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), JsonParseError);
+    EXPECT_THROW(parseJson("tru"), JsonParseError);
+    EXPECT_THROW(parseJson("{} extra"), JsonParseError);
+    EXPECT_THROW(parseJson("\"unterminated"), JsonParseError);
+}
+
+TEST(Json, NumbersRoundTripBitExactly)
+{
+    for (double v : {0.0, 1.0 / 3.0, -2.5e-17, 6.02214076e23,
+                     123456789.123456789, -0.1}) {
+        JsonValue parsed = parseJson(JsonValue(v).dump(0));
+        EXPECT_EQ(parsed.asNumber(), v) << JsonValue(v).dump(0);
+    }
+}
+
+TEST(Json, NonFiniteSerializesAsNull)
+{
+    EXPECT_EQ(JsonValue(std::nan("")).dump(0), "null");
+    EXPECT_EQ(JsonValue(INFINITY).dump(0), "null");
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("zebra", 1);
+    obj.set("alpha", 2);
+    obj.set("zebra", 3); // replaces, does not reorder
+    ASSERT_EQ(obj.keys().size(), 2u);
+    EXPECT_EQ(obj.keys()[0], "zebra");
+    EXPECT_DOUBLE_EQ(obj.at("zebra").asNumber(), 3.0);
+}
+
+/** Serialize a StatGroup and parse the result back. */
+JsonValue
+roundTrip(const StatGroup &g)
+{
+    std::ostringstream os;
+    writeStatsJson(os, g);
+    return parseJson(os.str());
+}
+
+TEST(JsonWriter, NestedGroups)
+{
+    Scalar hits, misses;
+    hits += 90;
+    misses += 10;
+    StatGroup root("system");
+    StatGroup chip("chip0");
+    StatGroup l2("l2");
+    l2.addScalar("hits", &hits, "L2 hits");
+    l2.addScalar("misses", &misses);
+    chip.addChild(&l2);
+    root.addChild(&chip);
+
+    JsonValue v = roundTrip(root);
+    EXPECT_EQ(v.at("name").asString(), "system");
+    const JsonValue &jchip = v.at("children").at(0);
+    EXPECT_EQ(jchip.at("name").asString(), "chip0");
+    const JsonValue &jl2 = jchip.at("children").at(0);
+    EXPECT_DOUBLE_EQ(jl2.at("scalars").at("hits").asNumber(), 90.0);
+    EXPECT_DOUBLE_EQ(jl2.at("scalars").at("misses").asNumber(), 10.0);
+    // Empty sections are omitted, not emitted as empty objects.
+    EXPECT_EQ(v.find("scalars"), nullptr);
+    EXPECT_EQ(jl2.find("children"), nullptr);
+}
+
+TEST(JsonWriter, RatioWithZeroDenominator)
+{
+    Scalar num, den;
+    num += 5;
+    StatGroup g("g");
+    g.addRatio("rate", Ratio(&num, &den));
+    g.addRatio("dangling", Ratio(nullptr, nullptr));
+
+    JsonValue v = roundTrip(g);
+    // Zero denominator reads as 0.0 (the Ratio contract), which must
+    // serialize as a number, not null/Inf.
+    EXPECT_DOUBLE_EQ(v.at("ratios").at("rate").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(v.at("ratios").at("dangling").asNumber(), 0.0);
+
+    den += 2;
+    JsonValue v2 = roundTrip(g);
+    EXPECT_DOUBLE_EQ(v2.at("ratios").at("rate").asNumber(), 2.5);
+}
+
+TEST(JsonWriter, HistogramRoundTrip)
+{
+    Histogram h(10.0, 4);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i % 40);
+    StatGroup g("g");
+    g.addHistogram("lat", &h, "latency");
+
+    JsonValue v = roundTrip(g);
+    const JsonValue &jh = v.at("histograms").at("lat");
+    EXPECT_DOUBLE_EQ(jh.at("samples").asNumber(),
+                     static_cast<double>(h.samples()));
+    EXPECT_DOUBLE_EQ(jh.at("mean").asNumber(), h.mean());
+    EXPECT_DOUBLE_EQ(jh.at("min").asNumber(), h.min());
+    EXPECT_DOUBLE_EQ(jh.at("max").asNumber(), h.max());
+    EXPECT_DOUBLE_EQ(jh.at("bucket_width").asNumber(), h.bucketWidth());
+    ASSERT_EQ(jh.at("buckets").size(), h.buckets().size());
+    for (size_t i = 0; i < h.buckets().size(); ++i)
+        EXPECT_DOUBLE_EQ(jh.at("buckets").at(i).asNumber(),
+                         static_cast<double>(h.buckets()[i]));
+    EXPECT_DOUBLE_EQ(jh.at("p50").asNumber(), h.percentile(0.5));
+    EXPECT_DOUBLE_EQ(jh.at("p90").asNumber(), h.percentile(0.9));
+    EXPECT_DOUBLE_EQ(jh.at("p99").asNumber(), h.percentile(0.99));
+}
+
+TEST(JsonWriter, ValuesAreLiveSnapshots)
+{
+    Scalar s;
+    StatGroup g("g");
+    g.addScalar("x", &s);
+    s += 1;
+    JsonValue before = statGroupToJson(g);
+    s += 1;
+    JsonValue after = statGroupToJson(g);
+    EXPECT_DOUBLE_EQ(before.at("scalars").at("x").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(after.at("scalars").at("x").asNumber(), 2.0);
+}
+
+} // namespace
+} // namespace piranha

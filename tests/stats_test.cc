@@ -56,6 +56,42 @@ TEST(Histogram, OverflowGoesToLastBucket)
     EXPECT_EQ(h.buckets().back(), 1u);
 }
 
+TEST(Histogram, NegativeSamplesClampToFirstBucket)
+{
+    Histogram h(1.0, 4);
+    // A negative value used to wrap the size_t index cast and land in
+    // the overflow bucket (or out of bounds); it must count in
+    // bucket 0 with min/max tracked correctly.
+    h.sample(-3.0);
+    EXPECT_EQ(h.buckets().front(), 1u);
+    EXPECT_EQ(h.buckets().back(), 0u);
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.max(), -3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), -3.0);
+
+    h.sample(-10.0, 2);
+    h.sample(2.5);
+    EXPECT_EQ(h.buckets().front(), 3u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.min(), -10.0);
+    EXPECT_DOUBLE_EQ(h.max(), 2.5);
+}
+
+TEST(Histogram, AllNegativeTracksMax)
+{
+    Histogram h(1.0, 4);
+    h.sample(-5.0);
+    h.sample(-2.0);
+    EXPECT_DOUBLE_EQ(h.max(), -2.0);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    h.sample(-1.0);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), -1.0);
+}
+
 TEST(Histogram, PercentileApproximation)
 {
     Histogram h(1.0, 100);
