@@ -22,6 +22,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "check/litmus.h"
 
 using namespace piranha;
 
@@ -107,6 +108,52 @@ sweepQuick()
     return s;
 }
 
+/**
+ * Every built-in litmus program x seeds 1..n, each as a custom point
+ * running the program with the coherence checker attached. A job
+ * fails when the run does not complete, hits its forbidden outcome,
+ * or the checker reports a violation.
+ */
+SweepSpec
+sweepLitmus(unsigned seeds)
+{
+    SweepSpec s("litmus");
+    for (const LitmusProgram &prog : builtinLitmusPrograms()) {
+        for (unsigned seed = 1; seed <= seeds; ++seed) {
+            SweepPoint pt;
+            pt.label = prog.name + "/s" + std::to_string(seed);
+            const LitmusProgram *pp = &prog; // static registry
+            pt.custom = [pp, seed]() -> CustomResult {
+                LitmusRunOptions opt;
+                opt.seed = seed;
+                LitmusResult res = runLitmus(*pp, opt);
+                CustomResult cr;
+                cr.ok = res.ok();
+                if (!res.completed)
+                    cr.error = "run did not complete";
+                else if (res.forbiddenHit)
+                    cr.error = "forbidden outcome: " + pp->forbiddenDesc;
+                else if (!res.report.ok())
+                    cr.error = res.report.violations.empty()
+                                   ? "trace truncated"
+                                   : res.report.violations.front().axiom +
+                                         ": " +
+                                         res.report.violations.front()
+                                             .detail;
+                cr.stats["completed"] = res.completed ? 1 : 0;
+                cr.stats["forbidden_hit"] = res.forbiddenHit ? 1 : 0;
+                cr.stats["violations"] =
+                    static_cast<double>(res.report.violations.size());
+                cr.stats["trace_events"] =
+                    static_cast<double>(res.trace.size());
+                return cr;
+            };
+            s.addPoint(std::move(pt));
+        }
+    }
+    return s;
+}
+
 struct SweepEntry
 {
     const char *name;
@@ -129,6 +176,7 @@ usage()
 {
     std::cerr
         << "usage: sweep_main <sweep> [options]\n"
+        << "       sweep_main --litmus [--seeds N] [options]\n"
         << "       sweep_main --list\n\n"
         << "options:\n"
         << "  --threads N     worker threads (default: all cores)\n"
@@ -136,7 +184,8 @@ usage()
         << "  --json FILE     write the JSON report to FILE\n"
         << "  --timeout SEC   per-job host wall-clock timeout\n"
         << "  --no-stat-tree  omit full StatGroup snapshots\n"
-        << "  --verify        serial vs parallel bit-identity check\n";
+        << "  --verify        serial vs parallel bit-identity check\n"
+        << "  --seeds N       seeds per litmus program (default 8)\n";
     return 2;
 }
 
@@ -198,13 +247,21 @@ main(int argc, char **argv)
     SweepOptions opts;
     opts.progress = &std::cerr;
     bool verify = false;
+    unsigned litmus_seeds = 8;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--list") {
             for (const SweepEntry &e : kSweeps)
                 std::printf("%-8s %s\n", e.name, e.desc);
+            std::printf("%-8s %s\n", "litmus",
+                        "built-in litmus programs x seeds under the "
+                        "coherence checker");
             return 0;
+        } else if (arg == "--litmus") {
+            sweep_name = "litmus";
+        } else if (arg == "--seeds" && i + 1 < argc) {
+            litmus_seeds = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--threads" && i + 1 < argc) {
             opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--serial") {
@@ -226,17 +283,23 @@ main(int argc, char **argv)
     if (sweep_name.empty())
         return usage();
 
-    const SweepEntry *entry = nullptr;
-    for (const SweepEntry &e : kSweeps)
-        if (sweep_name == e.name)
-            entry = &e;
-    if (!entry) {
-        std::cerr << "unknown sweep \"" << sweep_name
-                  << "\" (try --list)\n";
-        return 2;
+    SweepSpec spec;
+    if (sweep_name == "litmus") {
+        if (litmus_seeds == 0)
+            return usage();
+        spec = sweepLitmus(litmus_seeds);
+    } else {
+        const SweepEntry *entry = nullptr;
+        for (const SweepEntry &e : kSweeps)
+            if (sweep_name == e.name)
+                entry = &e;
+        if (!entry) {
+            std::cerr << "unknown sweep \"" << sweep_name
+                      << "\" (try --list)\n";
+            return 2;
+        }
+        spec = entry->make();
     }
-
-    SweepSpec spec = entry->make();
     if (verify)
         return runVerify(spec, opts);
 

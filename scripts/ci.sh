@@ -1,14 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 verification, as CI runs it: configure with warnings promoted
 # to errors on the library targets, build everything, run the full
-# test suite. Usage: scripts/ci.sh [build-dir]
+# test suite.
+#
+# Usage:
+#   scripts/ci.sh [build-dir]         tier-1 build + tests
+#   scripts/ci.sh asan [build-dir]    same under ASan+UBSan, plus the
+#                                     litmus sweep (memory errors in
+#                                     the protocol/tracer paths)
 set -euo pipefail
 
-BUILD_DIR="${1:-build-ci}"
+MODE=tier1
+if [[ "${1:-}" == "asan" ]]; then
+    MODE=asan
+    shift
+fi
+
+DEFAULT_DIR=build-ci
+[[ "$MODE" == "asan" ]] && DEFAULT_DIR=build-asan
+BUILD_DIR="${1:-$DEFAULT_DIR}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+EXTRA=()
+[[ "$MODE" == "asan" ]] && EXTRA+=(-DPIRANHA_SANITIZE=ON)
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DPIRANHA_WERROR=ON
+    -DPIRANHA_WERROR=ON \
+    "${EXTRA[@]+"${EXTRA[@]}"}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "$MODE" == "asan" ]]; then
+    # Drive the protocol+tracer under the sanitizers from outside the
+    # gtest harness too: every built-in litmus across a few seeds.
+    "$BUILD_DIR"/bench/sweep_main --litmus --seeds 4 --threads 2
+fi

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/trace.h"
+
 namespace piranha {
 
 L1Cache::L1Cache(EventQueue &eq, std::string name, const L1Params &params,
@@ -74,6 +76,14 @@ L1Cache::tryStart()
             L1Line *l = _tags.find(req.addr);
             if (l && (l->state == L1State::M ||
                       l->state == L1State::E)) {
+                PIR_TRACE(_p.tracer,
+                          TraceEvent{.tick = curTick(),
+                                     .kind = TraceKind::StoreIssue,
+                                     .node = _p.node,
+                                     .l1 = _l1Id,
+                                     .size = req.size,
+                                     .addr = req.addr,
+                                     .value = req.value});
                 applyStore(*l, SbEntry{req.addr, req.size, req.value});
                 ++statHits;
                 respond(pc.rsp, 0, FillSource::L1);
@@ -82,6 +92,14 @@ L1Cache::tryStart()
             }
             if (_mshr.valid)
                 return;
+            PIR_TRACE(_p.tracer,
+                      TraceEvent{.tick = curTick(),
+                                 .kind = TraceKind::StoreIssue,
+                                 .node = _p.node,
+                                 .l1 = _l1Id,
+                                 .size = req.size,
+                                 .addr = req.addr,
+                                 .value = req.value});
             issueMiss(req, std::move(pc.rsp),
                       l && l->state == L1State::S);
             _cpuQueue.pop_front();
@@ -92,6 +110,14 @@ L1Cache::tryStart()
             if (_sb.size() >= _p.storeBufferDepth)
                 return; // wait for drain to free a slot
             _sb.push_back(SbEntry{req.addr, req.size, req.value});
+            PIR_TRACE(_p.tracer,
+                      TraceEvent{.tick = curTick(),
+                                 .kind = TraceKind::StoreIssue,
+                                 .node = _p.node,
+                                 .l1 = _l1Id,
+                                 .size = req.size,
+                                 .addr = req.addr,
+                                 .value = req.value});
             ++statHits;
             respond(pc.rsp, 0, FillSource::StoreBuffer);
             _cpuQueue.pop_front();
@@ -125,6 +151,15 @@ L1Cache::tryStart()
         if (!_p.isInstr && sbCovers(req.addr, req.size, sb_value)) {
             ++statHits;
             ++statSbForwards;
+            PIR_TRACE(_p.tracer,
+                      TraceEvent{.tick = curTick(),
+                                 .kind = TraceKind::LoadCommit,
+                                 .node = _p.node,
+                                 .l1 = _l1Id,
+                                 .size = req.size,
+                                 .src = FillSource::StoreBuffer,
+                                 .addr = req.addr,
+                                 .value = sb_value});
             respond(pc.rsp, sb_value, FillSource::StoreBuffer);
             _cpuQueue.pop_front();
             continue;
@@ -133,8 +168,17 @@ L1Cache::tryStart()
         if (l) {
             _tags.touch(*l);
             ++statHits;
-            respond(pc.rsp, composeLoad(*l, req.addr, req.size),
-                    FillSource::L1);
+            std::uint64_t v = composeLoad(*l, req.addr, req.size);
+            PIR_TRACE(_p.tracer,
+                      TraceEvent{.tick = curTick(),
+                                 .kind = TraceKind::LoadCommit,
+                                 .node = _p.node,
+                                 .l1 = _l1Id,
+                                 .size = req.size,
+                                 .src = FillSource::L1,
+                                 .addr = req.addr,
+                                 .value = v});
+            respond(pc.rsp, v, FillSource::L1);
             _cpuQueue.pop_front();
             continue;
         }
@@ -221,6 +265,11 @@ L1Cache::icsDeliver(const IcsMsg &msg)
 
       case IcsMsgType::Inval: {
         ++statInvalsReceived;
+        PIR_TRACE(_p.tracer, TraceEvent{.tick = curTick(),
+                                        .kind = TraceKind::InvalRecv,
+                                        .node = _p.node,
+                                        .l1 = _l1Id,
+                                        .addr = msg.addr});
         L1Line *l = _tags.find(msg.addr);
         if (l) {
             notifyEviction(l->addr);
@@ -258,12 +307,25 @@ L1Cache::icsDeliver(const IcsMsg &msg)
         _ics.send(std::move(fill));
 
         if (msg.type == IcsMsgType::FwdGetX) {
-            notifyEviction(l->addr);
-            l->state = L1State::I;
-            _tags.invalidate(*l);
+            // Seeded fault: the owner supplies the line but illegally
+            // keeps its modified copy instead of invalidating it.
+            if (!(_p.faults &&
+                  _p.faults->fire(ProtocolFault::FwdKeepOwner))) {
+                notifyEviction(l->addr);
+                l->state = L1State::I;
+                _tags.invalidate(*l);
+            }
         } else {
             l->state = L1State::S;
         }
+        PIR_TRACE(_p.tracer,
+                  TraceEvent{.tick = curTick(),
+                             .kind = TraceKind::FwdService,
+                             .node = _p.node,
+                             .l1 = _l1Id,
+                             .aux = msg.l1Id,
+                             .state = unsigned(lineState(msg.addr)),
+                             .addr = msg.addr});
 
         IcsMsg done;
         done.type = IcsMsgType::FwdDone;
@@ -298,6 +360,14 @@ L1Cache::completeMiss(const IcsMsg &msg)
         if (!slot)
             panic("%s: upgrade ack but line gone", name().c_str());
         slot->state = L1State::E;
+        PIR_TRACE(_p.tracer,
+                  TraceEvent{.tick = curTick(),
+                             .kind = TraceKind::Fill,
+                             .node = _p.node,
+                             .l1 = _l1Id,
+                             .state = unsigned(L1State::E),
+                             .src = msg.source,
+                             .addr = lineAlign(msg.addr)});
     } else if (_mshr.isUpgrade) {
         // Our shared copy was invalidated while the upgrade was in
         // flight; the L2 turned it into a full fill.
@@ -312,6 +382,14 @@ L1Cache::completeMiss(const IcsMsg &msg)
         slot->data = msg.data;
         slot->state = L1State::E;
         _tags.touch(*slot);
+        PIR_TRACE(_p.tracer,
+                  TraceEvent{.tick = curTick(),
+                             .kind = TraceKind::Fill,
+                             .node = _p.node,
+                             .l1 = _l1Id,
+                             .state = unsigned(L1State::E),
+                             .src = msg.source,
+                             .addr = lineAlign(msg.addr)});
     } else {
         // Normal fill: drop the reserved victim (its data was
         // shipped with the request; the L2 captured it if needed).
@@ -319,6 +397,13 @@ L1Cache::completeMiss(const IcsMsg &msg)
             L1Line *v = _tags.find(_mshr.victimAddr);
             if (v && v->valid) {
                 ++statWritebacks;
+                PIR_TRACE(_p.tracer,
+                          TraceEvent{.tick = curTick(),
+                                     .kind = TraceKind::VictimDrop,
+                                     .node = _p.node,
+                                     .l1 = _l1Id,
+                                     .state = unsigned(v->state),
+                                     .addr = v->addr});
                 notifyEviction(v->addr);
                 v->state = L1State::I;
                 _tags.invalidate(*v);
@@ -339,6 +424,14 @@ L1Cache::completeMiss(const IcsMsg &msg)
                        msg.type == IcsMsgType::PeerFillS)
                           ? L1State::S
                           : L1State::E;
+        PIR_TRACE(_p.tracer,
+                  TraceEvent{.tick = curTick(),
+                             .kind = TraceKind::Fill,
+                             .node = _p.node,
+                             .l1 = _l1Id,
+                             .state = unsigned(slot->state),
+                             .src = msg.source,
+                             .addr = lineAlign(msg.addr)});
     }
 
     // Complete the CPU-side operation.
@@ -349,11 +442,28 @@ L1Cache::completeMiss(const IcsMsg &msg)
 
     switch (req.op) {
       case MemOp::Load:
-      case MemOp::Ifetch:
-        respond(rsp, composeLoad(*slot, req.addr, req.size), msg.source);
+      case MemOp::Ifetch: {
+        std::uint64_t v = composeLoad(*slot, req.addr, req.size);
+        PIR_TRACE(_p.tracer, TraceEvent{.tick = curTick(),
+                                        .kind = TraceKind::LoadCommit,
+                                        .node = _p.node,
+                                        .l1 = _l1Id,
+                                        .size = req.size,
+                                        .src = msg.source,
+                                        .addr = req.addr,
+                                        .value = v});
+        respond(rsp, v, msg.source);
         break;
+      }
       case MemOp::Wh64:
         slot->state = L1State::M;
+        // Line contents are architecturally undefined after a write
+        // hint; the checker treats the whole line as wildcard-written.
+        PIR_TRACE(_p.tracer, TraceEvent{.tick = curTick(),
+                                        .kind = TraceKind::Wh64,
+                                        .node = _p.node,
+                                        .l1 = _l1Id,
+                                        .addr = lineAlign(req.addr)});
         respond(rsp, 0, msg.source);
         break;
       case MemOp::Store:
@@ -395,6 +505,17 @@ L1Cache::drainStoreBuffer()
     }
     if (_mshr.valid)
         return; // retried when the MSHR frees
+    // Seeded fault: the head entry is silently discarded instead of
+    // issuing its miss — the store is lost before it globally performs.
+    if (_p.faults && _p.faults->fire(ProtocolFault::SbDropOnMiss)) {
+        _sb.pop_front();
+        tryStart();
+        if (!_sb.empty()) {
+            _drainScheduled = true;
+            scheduleIn(_clk.cycles(1), [this] { drainStoreBuffer(); });
+        }
+        return;
+    }
     MemReq req;
     req.op = MemOp::Store;
     req.addr = e.addr;
@@ -410,6 +531,13 @@ L1Cache::applyStore(L1Line &line, const SbEntry &e)
                     e.size, e.value);
     line.state = L1State::M;
     _tags.touch(line);
+    PIR_TRACE(_p.tracer, TraceEvent{.tick = curTick(),
+                                    .kind = TraceKind::StoreCommit,
+                                    .node = _p.node,
+                                    .l1 = _l1Id,
+                                    .size = e.size,
+                                    .addr = e.addr,
+                                    .value = e.value});
 }
 
 std::uint64_t

@@ -55,6 +55,12 @@ struct L1Params
     bool isInstr = false;
     unsigned hitCycles = 1;
     unsigned storeBufferDepth = 8;
+
+    /** Node id, coherence tracer and seeded fault shared by the
+     *  whole chip (src/check/); filled in by Chip. */
+    int node = 0;
+    CoherenceTracer *tracer = nullptr;
+    FaultState *faults = nullptr;
 };
 
 /** A first-level instruction or data cache. */

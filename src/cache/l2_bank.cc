@@ -4,6 +4,8 @@
 #include <iostream>
 #include <ostream>
 
+#include "check/trace.h"
+
 namespace piranha {
 
 L2Bank::L2Bank(EventQueue &eq, std::string name, const L2Params &params,
@@ -207,7 +209,12 @@ L2Bank::handleVictim(const IcsMsg &msg)
         ++statWbInstalls;
         bool dirty = msg.victimDirty || v.nodeDirty;
         v.nodeDirty = false;
-        installL2(msg.victimAddr, msg.data, dirty);
+        // Seeded fault: the shipped victim data is dropped on the
+        // floor instead of installed — the only up-to-date copy of a
+        // (possibly dirty) line is lost.
+        if (!(_p.faults &&
+              _p.faults->fire(ProtocolFault::DropVictimWriteback)))
+            installL2(msg.victimAddr, msg.data, dirty);
         return false;
     }
     maybeErase(msg.victimAddr);
@@ -235,9 +242,22 @@ L2Bank::dispatchL1Request(IcsMsg msg, bool wb_decision)
             _tags.touch(*l2l);
             replyFill(msg, l2l->data, true, false, FillSource::L2Hit,
                       wb_decision);
-            info.sharers |= bit;
-            info.ownerL1 = msg.l1Id;
-            info.l1Excl = false;
+            // Seeded fault: the fill is sent but the duplicate tags
+            // never record the new sharer — a later exclusive grant
+            // will not invalidate this L1's copy.
+            if (!(_p.faults &&
+                  _p.faults->fire(ProtocolFault::SkipDupTagUpdate))) {
+                info.sharers |= bit;
+                info.ownerL1 = msg.l1Id;
+                info.l1Excl = false;
+                PIR_TRACE(_p.tracer,
+                          TraceEvent{.tick = curTick(),
+                                     .kind = TraceKind::OwnerChange,
+                                     .node = int(_node),
+                                     .aux = msg.l1Id,
+                                     .addr = a,
+                                     .mask = info.sharers});
+            }
             return;
         }
         if (info.sharers) {
@@ -258,6 +278,13 @@ L2Bank::dispatchL1Request(IcsMsg msg, bool wb_decision)
             info.sharers |= bit;
             info.ownerL1 = msg.l1Id;
             info.l1Excl = false;
+            PIR_TRACE(_p.tracer,
+                      TraceEvent{.tick = curTick(),
+                                 .kind = TraceKind::OwnerChange,
+                                 .node = int(_node),
+                                 .aux = msg.l1Id,
+                                 .addr = a,
+                                 .mask = info.sharers});
             info.busy = true;
             info.txn = Info::Txn{};
             info.txn.kind = Info::Txn::L1Fwd;
@@ -305,6 +332,13 @@ L2Bank::dispatchL1Request(IcsMsg msg, bool wb_decision)
         info.sharers = bit;
         info.ownerL1 = msg.l1Id;
         info.l1Excl = true;
+        PIR_TRACE(_p.tracer,
+                  TraceEvent{.tick = curTick(),
+                             .kind = TraceKind::OwnerChange,
+                             .node = int(_node),
+                             .aux = msg.l1Id,
+                             .addr = a,
+                             .mask = info.sharers});
         info.busy = true;
         info.txn = Info::Txn{};
         info.txn.kind = Info::Txn::L1Fwd;
@@ -364,6 +398,18 @@ L2Bank::grantLocalExclusive(IcsMsg req, bool wb_decision,
         for (int l1 = 0; l1 < 16; ++l1) {
             if (l1 != owner && l1 != req.l1Id &&
                 (info.sharers & (1u << l1))) {
+                PIR_TRACE(_p.tracer,
+                          TraceEvent{.tick = curTick(),
+                                     .kind = TraceKind::InvalSent,
+                                     .node = int(_node),
+                                     .aux = l1,
+                                     .addr = a,
+                                     .mask = info.sharers});
+                // Seeded fault: the invalidation is never sent — the
+                // targeted L1 keeps a stale copy the dup tags forgot.
+                if (_p.faults &&
+                    _p.faults->fire(ProtocolFault::DropInval))
+                    continue;
                 IcsMsg inv;
                 inv.type = IcsMsgType::Inval;
                 inv.addr = a;
@@ -607,6 +653,11 @@ L2Bank::installL2(Addr addr, const LineData &data, bool dirty)
 {
     if (_tags.find(addr))
         panic("%s: double L2 install", name().c_str());
+    PIR_TRACE(_p.tracer, TraceEvent{.tick = curTick(),
+                                    .kind = TraceKind::WbInstall,
+                                    .node = int(_node),
+                                    .state = dirty ? 1u : 0u,
+                                    .addr = addr});
     // Choose a victim way whose line has no active transaction.
     L2Line *slot = nullptr;
     for (unsigned attempt = 0; attempt < _p.assoc; ++attempt) {
@@ -632,6 +683,12 @@ L2Bank::evictL2Line(L2Line &line)
     ++statL2Evictions;
     Addr a = line.addr;
     Info &info = infoFor(a);
+    PIR_TRACE(_p.tracer, TraceEvent{.tick = curTick(),
+                                    .kind = TraceKind::L2Evict,
+                                    .node = int(_node),
+                                    .state = line.dirty ? 1u : 0u,
+                                    .addr = a,
+                                    .mask = info.sharers});
     if (info.sharers) {
         // L1 copies remain: ownership stays with the last-requester
         // L1; remember dirtiness so its eventual write-back installs
@@ -807,9 +864,21 @@ L2Bank::onPeInvalLocal(IcsMsg msg)
     bool acquiring_excl =
         info.busy && info.txn.kind == Info::Txn::L1Engine &&
         info.txn.req.type != IcsMsgType::GetS;
-    if (!info.l1Excl && !info.nodeExcl && !acquiring_excl) {
-        // Genuine invalidation of clean shared copies.
-        invalL1Sharers(info, a, -1);
+    bool apply = !info.l1Excl && !info.nodeExcl && !acquiring_excl;
+    PIR_TRACE(_p.tracer, TraceEvent{.tick = curTick(),
+                                    .kind = TraceKind::CmiInval,
+                                    .node = int(_node),
+                                    .state = apply ? 1u : 0u,
+                                    .addr = a,
+                                    .mask = info.sharers});
+    if (apply) {
+        // Genuine invalidation of clean shared copies. Seeded fault:
+        // the invalidation is acknowledged and the node-level state
+        // cleared, but the L1 invalidations are skipped — stale L1
+        // copies survive the epoch change and keep servicing hits.
+        if (!(info.sharers && _p.faults &&
+              _p.faults->fire(ProtocolFault::StaleCmiApply)))
+            invalL1Sharers(info, a, -1);
         invalL2Copy(info, a);
         info.nodeDirty = false;
         info.pdir = Info::PD_Unknown;
@@ -871,13 +940,23 @@ L2Bank::invalL1Sharers(Info &info, Addr addr, int except_l1)
     for (int l1 = 0; l1 < 16; ++l1) {
         if (l1 == except_l1 || !(info.sharers & (1u << l1)))
             continue;
+        PIR_TRACE(_p.tracer, TraceEvent{.tick = curTick(),
+                                        .kind = TraceKind::InvalSent,
+                                        .node = int(_node),
+                                        .aux = l1,
+                                        .addr = addr,
+                                        .mask = info.sharers});
+        info.sharers &= ~(1u << l1);
+        // Seeded fault: the dup-tag bit is cleared but the
+        // invalidation message is never sent.
+        if (_p.faults && _p.faults->fire(ProtocolFault::DropInval))
+            continue;
         IcsMsg inv;
         inv.type = IcsMsgType::Inval;
         inv.addr = addr;
         inv.srcPort = _myPort;
         inv.dstPort = l1;
         _ics.send(std::move(inv));
-        info.sharers &= ~(1u << l1);
     }
     if (info.ownerL1 >= 0 && !(info.sharers & (1u << info.ownerL1))) {
         info.l1Excl = false;

@@ -65,6 +65,11 @@ struct L2Params
      * majority of local L1 requests"). Disable for ablation.
      */
     bool pdirShortcut = true;
+
+    /** Coherence tracer and seeded fault shared by the whole chip
+     *  (src/check/); filled in by Chip. */
+    CoherenceTracer *tracer = nullptr;
+    FaultState *faults = nullptr;
 };
 
 /** A second-level cache bank with its duplicate-L1-tag directory. */

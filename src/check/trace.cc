@@ -1,0 +1,185 @@
+#include "check/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace piranha {
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::Init: return "Init";
+      case TraceKind::StoreIssue: return "StoreIssue";
+      case TraceKind::StoreCommit: return "StoreCommit";
+      case TraceKind::LoadCommit: return "LoadCommit";
+      case TraceKind::Wh64: return "Wh64";
+      case TraceKind::Fill: return "Fill";
+      case TraceKind::InvalRecv: return "InvalRecv";
+      case TraceKind::FwdService: return "FwdService";
+      case TraceKind::VictimDrop: return "VictimDrop";
+      case TraceKind::InvalSent: return "InvalSent";
+      case TraceKind::OwnerChange: return "OwnerChange";
+      case TraceKind::WbInstall: return "WbInstall";
+      case TraceKind::L2Evict: return "L2Evict";
+      case TraceKind::CmiPlan: return "CmiPlan";
+      case TraceKind::CmiInval: return "CmiInval";
+      case TraceKind::Marker: return "Marker";
+    }
+    return "?";
+}
+
+namespace {
+
+TraceKind
+traceKindFromName(const std::string &name)
+{
+    for (unsigned k = 0; k <= unsigned(TraceKind::Marker); ++k)
+        if (name == traceKindName(TraceKind(k)))
+            return TraceKind(k);
+    throw std::runtime_error("unknown trace kind \"" + name + "\"");
+}
+
+FillSource
+fillSourceFromName(const std::string &name)
+{
+    for (unsigned s = 0; s <= unsigned(FillSource::RemoteDirty); ++s)
+        if (name == fillSourceName(FillSource(s)))
+            return FillSource(s);
+    throw std::runtime_error("unknown fill source \"" + name + "\"");
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t
+parseHex64(const JsonValue &v)
+{
+    if (v.isNumber())
+        return static_cast<std::uint64_t>(v.asNumber());
+    return std::stoull(v.asString(), nullptr, 16);
+}
+
+} // namespace
+
+std::string
+renderTraceEvent(std::size_t idx, const TraceEvent &e)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "[%6zu] t=%-10llu %-11s node=%d l1=%-2d aux=%-2d "
+                  "addr=%#llx val=%#llx size=%u state=%u src=%s mask=%#x",
+                  idx, static_cast<unsigned long long>(e.tick),
+                  traceKindName(e.kind), e.node, e.l1, e.aux,
+                  static_cast<unsigned long long>(e.addr),
+                  static_cast<unsigned long long>(e.value), e.size,
+                  e.state, fillSourceName(e.src), e.mask);
+    return buf;
+}
+
+CoherenceTracer::CoherenceTracer(std::size_t capacity)
+    : _cap(capacity ? capacity : 1)
+{
+    _ring.reserve(std::min<std::size_t>(_cap, 4096));
+}
+
+void
+CoherenceTracer::init(Addr addr, unsigned size, std::uint64_t value)
+{
+    record(TraceEvent{.tick = 0,
+                      .kind = TraceKind::Init,
+                      .size = size,
+                      .addr = addr,
+                      .value = value});
+}
+
+void
+CoherenceTracer::mark(Tick tick, std::uint64_t code)
+{
+    record(TraceEvent{
+        .tick = tick, .kind = TraceKind::Marker, .value = code});
+}
+
+std::vector<TraceEvent>
+CoherenceTracer::events() const
+{
+    if (_recorded <= _cap)
+        return _ring;
+    std::vector<TraceEvent> out;
+    out.reserve(_cap);
+    std::size_t head = _recorded % _cap; // oldest surviving event
+    for (std::size_t i = 0; i < _cap; ++i)
+        out.push_back(_ring[(head + i) % _cap]);
+    return out;
+}
+
+void
+CoherenceTracer::clear()
+{
+    _ring.clear();
+    _recorded = 0;
+}
+
+JsonValue
+CoherenceTracer::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("version", 1);
+    doc.set("capacity", std::uint64_t(_cap));
+    doc.set("recorded", _recorded);
+    doc.set("dropped", dropped());
+    JsonValue evs = JsonValue::array();
+    for (const TraceEvent &e : events()) {
+        JsonValue j = JsonValue::object();
+        j.set("tick", e.tick);
+        j.set("kind", traceKindName(e.kind));
+        j.set("node", e.node);
+        j.set("l1", e.l1);
+        j.set("aux", e.aux);
+        j.set("state", int(e.state));
+        j.set("size", int(e.size));
+        j.set("src", fillSourceName(e.src));
+        // Hex strings: doubles cannot hold all 64-bit values exactly.
+        j.set("addr", hex64(e.addr));
+        j.set("value", hex64(e.value));
+        j.set("mask", std::uint64_t(e.mask));
+        evs.append(std::move(j));
+    }
+    doc.set("events", std::move(evs));
+    return doc;
+}
+
+std::vector<TraceEvent>
+CoherenceTracer::eventsFromJson(const JsonValue &doc)
+{
+    const JsonValue &evs = doc.at("events");
+    if (!evs.isArray())
+        throw std::runtime_error("trace dump: \"events\" not an array");
+    std::vector<TraceEvent> out;
+    out.reserve(evs.size());
+    for (const JsonValue &j : evs.items()) {
+        TraceEvent e;
+        e.tick = static_cast<Tick>(j.at("tick").asNumber());
+        e.kind = traceKindFromName(j.at("kind").asString());
+        e.node = static_cast<int>(j.at("node").asNumber());
+        e.l1 = static_cast<int>(j.at("l1").asNumber());
+        e.aux = static_cast<int>(j.at("aux").asNumber());
+        e.state = static_cast<unsigned>(j.at("state").asNumber());
+        e.size = static_cast<unsigned>(j.at("size").asNumber());
+        e.src = fillSourceFromName(j.at("src").asString());
+        e.addr = parseHex64(j.at("addr"));
+        e.value = parseHex64(j.at("value"));
+        e.mask = static_cast<std::uint32_t>(j.at("mask").asNumber());
+        out.push_back(e);
+    }
+    return out;
+}
+
+} // namespace piranha

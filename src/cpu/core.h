@@ -64,6 +64,8 @@ class Core : public SimObject
     }
 
     void regStats(StatGroup &parent);
+    /** Detach this core's stat group before the core is destroyed. */
+    void unregStats(StatGroup &parent) { parent.removeChild(&_stats); }
 
     // Accounted tick breakdown (paper Fig. 5 categories).
     Scalar statBusy;        //!< CPU busy (issue-limited) time

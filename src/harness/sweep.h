@@ -41,6 +41,14 @@ struct WorkloadDecl
     std::uint64_t totalWork = 0; //!< split across the system's CPUs
 };
 
+/** Outcome of a custom (non-simulation) job body. */
+struct CustomResult
+{
+    bool ok = true;
+    std::string error;                   //!< failure description
+    std::map<std::string, double> stats; //!< named stats for the report
+};
+
 /** One runnable job: a configuration under a workload. */
 struct SweepPoint
 {
@@ -48,6 +56,11 @@ struct SweepPoint
     SystemConfig config;
     WorkloadDecl workload;
     Tick maxTime = 100 * 1000 * ticksPerUs; //!< simulated-time bound
+
+    /** When set, the job runs this body instead of building a
+     *  PiranhaSystem (litmus sweep); it must be self-contained and
+     *  deterministic like any other point. */
+    std::function<CustomResult()> custom;
 };
 
 /**

@@ -53,6 +53,17 @@ SweepRunner::runJob(const SweepPoint &pt) const
     }
 
     try {
+        if (pt.custom) {
+            CustomResult cr = pt.custom();
+            if (!cr.ok) {
+                jr.status = JobStatus::Failed;
+                jr.error = cr.error.empty() ? "custom job failed"
+                                            : cr.error;
+            }
+            jr.stats = std::move(cr.stats);
+            jr.hostSeconds = secondsSince(t0);
+            return jr;
+        }
         std::unique_ptr<Workload> wl = pt.workload.make();
         if (!wl)
             throw std::runtime_error("workload factory returned null");

@@ -49,6 +49,22 @@ icsMsgTypeName(IcsMsgType t)
     return "?";
 }
 
+const char *
+protocolFaultName(ProtocolFault f)
+{
+    switch (f) {
+      case ProtocolFault::None: return "none";
+      case ProtocolFault::DropInval: return "drop-inval";
+      case ProtocolFault::SkipDupTagUpdate: return "skip-dup-tag";
+      case ProtocolFault::DropVictimWriteback: return "drop-victim-wb";
+      case ProtocolFault::WbRaceStaleData: return "wb-race-stale";
+      case ProtocolFault::StaleCmiApply: return "stale-cmi";
+      case ProtocolFault::FwdKeepOwner: return "fwd-keep-owner";
+      case ProtocolFault::SbDropOnMiss: return "sb-drop-on-miss";
+    }
+    return "?";
+}
+
 std::uint64_t
 nextReqId()
 {

@@ -234,6 +234,57 @@ struct IcsMsg
 /** Allocate a fresh transaction id (process-wide, diagnostics only). */
 std::uint64_t nextReqId();
 
+/** Coherence event tracer (src/check/trace.h); owned by the harness. */
+class CoherenceTracer;
+
+/**
+ * Deliberate protocol mutations for checker-sensitivity testing.
+ *
+ * Each value names one silent-corruption bug seeded at a specific
+ * point in the protocol (see DESIGN.md "Fault seeding"). Faults are
+ * chosen so they never trip an in-simulator panic: the run completes
+ * and the offline checker — not a crash — must flag the damage.
+ */
+enum class ProtocolFault : std::uint8_t
+{
+    None,
+    DropInval,           //!< L2 clears the sharer bit but never sends
+                         //!< the invalidation to that L1
+    SkipDupTagUpdate,    //!< L2 forgets to record a sharer on a GetS
+                         //!< hit (dup-tag / directory out of sync)
+    DropVictimWriteback, //!< dirty L1 victim reaches the L2 but its
+                         //!< data is not installed
+    WbRaceStaleData,     //!< write-back buffer serves stale (zeroed)
+                         //!< data to a forward racing the write-back
+    StaleCmiApply,       //!< cruise-missile invalidation acknowledged
+                         //!< and applied to node-level state, but the
+                         //!< L1 invalidations are skipped — stale L1
+                         //!< copies survive the epoch change
+    FwdKeepOwner,        //!< owner L1 services FwdGetX but illegally
+                         //!< keeps its modified copy
+    SbDropOnMiss,        //!< store-buffer entry discarded instead of
+                         //!< issued when its line misses in the L1
+};
+
+const char *protocolFaultName(ProtocolFault f);
+
+/** Runtime state of one seeded fault, shared across a run's chips. */
+struct FaultState
+{
+    ProtocolFault kind = ProtocolFault::None;
+    std::uint64_t fires = 0; //!< times the mutated path was taken
+
+    /** True (and counted) when the seeded fault is @p k. */
+    bool
+    fire(ProtocolFault k)
+    {
+        if (kind != k)
+            return false;
+        ++fires;
+        return true;
+    }
+};
+
 } // namespace piranha
 
 #endif // PIRANHA_MEM_COHERENCE_TYPES_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "check/trace.h"
 #include "system/chip_ports.h"
 
 namespace piranha {
@@ -496,6 +497,13 @@ ProtocolEngine::planCmi(TsrfEntry &t, const std::vector<NodeId> &targets)
     std::sort(sorted.begin(), sorted.end());
     for (std::size_t i = 0; i < sorted.size(); ++i)
         t.chains[i % nchains].push_back(sorted[i]);
+    PIR_TRACE(_cfg.tracer,
+              TraceEvent{.tick = curTick(),
+                         .kind = TraceKind::CmiPlan,
+                         .node = int(_cfg.node),
+                         .aux = int(nchains),
+                         .addr = t.addr,
+                         .value = std::uint64_t(targets.size())});
 }
 
 bool

@@ -50,6 +50,11 @@ struct EngineConfig
     std::function<void(NetPacket &&)> netOut;
     /** Memory controller owning @p addr (home-side dir/mem writes). */
     std::function<MemCtrl *(Addr)> mcFor;
+
+    /** Coherence tracer and seeded fault shared by the whole chip
+     *  (src/check/); filled in by Chip. */
+    CoherenceTracer *tracer = nullptr;
+    FaultState *faults = nullptr;
 };
 
 /** A home or remote protocol engine. */
@@ -98,6 +103,8 @@ class ProtocolEngine : public SimObject, public IcsClient
 
     NodeId node() const { return _cfg.node; }
     const AddressMap &amap() const { return _cfg.amap; }
+    CoherenceTracer *tracer() const { return _cfg.tracer; }
+    FaultState *faults() const { return _cfg.faults; }
 
     /** Write-back buffer: data held until the home acknowledges. */
     struct WbBuf

@@ -267,6 +267,13 @@ installRemoteProgram(ProtocolEngine &pe)
         ProtocolEngine::WbBuf &buf = pe.wbBuffer[lineNum(t.addr)];
         buf.data = t.origLocal.data;
         buf.dirty = t.origLocal.victimDirty;
+        // Seeded fault: the buffer holds stale (zeroed) data for the
+        // whole write-back window, as if populated before the final
+        // L1 stores landed — a forward racing the write-back delivers
+        // garbage while the home's memory copy stays correct.
+        if (pe.faults() &&
+            pe.faults()->fire(ProtocolFault::WbRaceStaleData))
+            buf.data = LineData{};
     });
     a.op(MicroOp::SEND, [&pe, home_of](TsrfEntry &t) {
         NetPacket p;

@@ -36,6 +36,14 @@ StatGroup::addChild(const StatGroup *child)
     _children.push_back(child);
 }
 
+void
+StatGroup::removeChild(const StatGroup *child)
+{
+    _children.erase(
+        std::remove(_children.begin(), _children.end(), child),
+        _children.end());
+}
+
 const Scalar *
 StatGroup::scalar(const std::string &name) const
 {

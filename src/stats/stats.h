@@ -156,6 +156,9 @@ class StatGroup
                       const std::string &desc = "");
     /** Attach a child group (not owned). */
     void addChild(const StatGroup *child);
+    /** Detach a child group; callers must detach before destroying a
+     *  registered child (the tree holds raw pointers). */
+    void removeChild(const StatGroup *child);
 
     const std::string &name() const { return _name; }
 

@@ -21,6 +21,12 @@ PiranhaChip::PiranhaChip(EventQueue &eq, std::string name, NodeId node,
         return l2Port(amap.bank(a));
     };
 
+    // Propagate the chip-wide tracer / seeded fault into every
+    // memory-system component (src/check/).
+    _p.l1d.node = _p.l1i.node = int(_node);
+    _p.l1d.tracer = _p.l1i.tracer = _p.l2.tracer = _p.tracer;
+    _p.l1d.faults = _p.l1i.faults = _p.l2.faults = _p.faults;
+
     _l1s.resize(2 * _p.cpus);
     for (unsigned cpu = 0; cpu < _p.cpus; ++cpu) {
         int dp = dl1Port(cpu);
@@ -51,6 +57,8 @@ PiranhaChip::PiranhaChip(EventQueue &eq, std::string name, NodeId node,
     ecfg.amap = _amap;
     ecfg.cmiFanout = _p.cmiFanout;
     ecfg.mcFor = [this](Addr a) { return _mcs[_amap.bank(a)].get(); };
+    ecfg.tracer = _p.tracer;
+    ecfg.faults = _p.faults;
     if (net) {
         ecfg.netOut = [net](NetPacket &&p) { net->inject(std::move(p)); };
     }
@@ -67,12 +75,20 @@ PiranhaChip::PiranhaChip(EventQueue &eq, std::string name, NodeId node,
     // Node-exclusive evictions populate the remote engine's
     // write-back buffer synchronously (no-NAK guarantee).
     ProtocolEngine *re = _re.get();
+    FaultState *faults = _p.faults;
     for (auto &bank : _banks) {
         bank->setWbBufferHook(
-            [re](Addr a, const LineData &d, bool dirty) {
+            [re, faults](Addr a, const LineData &d, bool dirty) {
                 ProtocolEngine::WbBuf &buf = re->wbBuffer[lineNum(a)];
                 buf.data = d;
                 buf.dirty = dirty;
+                // Seeded fault: the buffer is populated with stale
+                // (zeroed) contents — as if captured before the last
+                // stores — so a forward racing the write-back window
+                // is serviced with garbage.
+                if (faults &&
+                    faults->fire(ProtocolFault::WbRaceStaleData))
+                    buf.data = LineData{};
                 buf.fwdServiced = false;
                 buf.releaseAfterFwd = false;
             });

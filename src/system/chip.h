@@ -42,6 +42,15 @@ struct ChipParams
     unsigned tsrfEntries = 16;
     unsigned cmiFanout = 4;
 
+    /**
+     * Optional coherence tracer and seeded protocol fault (src/check/).
+     * Shared by every L1, L2 bank and protocol engine of the chip;
+     * multi-chip harnesses pass the same pointers to every chip so one
+     * trace covers the whole system. Null = disabled.
+     */
+    CoherenceTracer *tracer = nullptr;
+    FaultState *faults = nullptr;
+
     ChipParams()
     {
         l1i.isInstr = true;

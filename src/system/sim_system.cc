@@ -46,7 +46,11 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
     CoreParams cp = _cfg.core;
     cp.ilp = wl.ilp();
     // The OOO parameters live in the cores; rebuild with the
-    // workload's ILP (cores are cheap).
+    // workload's ILP (cores are cheap). The stat tree holds raw
+    // pointers into the cores, so detach before destroying and
+    // re-register the replacements.
+    for (auto &core : _cores)
+        core->unregStats(_stats);
     _cores.clear();
     for (unsigned n = 0; n < _cfg.nodes; ++n) {
         for (unsigned c = 0; c < _cfg.cpusPerChip; ++c) {
@@ -54,6 +58,7 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
                 _eq, strFormat("node%u.cpu%u", n, c),
                 _chips[n]->clock(), _chips[n]->dl1(c),
                 _chips[n]->il1(c), cp));
+            _cores.back()->regStats(_stats);
         }
     }
     _streams.clear();

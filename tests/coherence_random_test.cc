@@ -24,6 +24,8 @@
 
 #include <map>
 
+#include "check/checker.h"
+#include "check/trace.h"
 #include "sim/rng.h"
 #include "test_system.h"
 
@@ -46,7 +48,10 @@ class CoherenceRandomTest : public ::testing::TestWithParam<TesterConfig>
 TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
 {
     const TesterConfig cfg = GetParam();
-    TestSystem sys(cfg.nodes, cfg.cpusPerChip);
+    CoherenceTracer tracer(std::size_t(1) << 20);
+    ChipParams params;
+    params.tracer = &tracer;
+    TestSystem sys(cfg.nodes, cfg.cpusPerChip, params);
 
     const unsigned ncpus = cfg.nodes * cfg.cpusPerChip;
     const Addr base = 0x2000000;
@@ -54,6 +59,11 @@ TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
     auto line_addr = [&](unsigned line) {
         return base + static_cast<Addr>(line) * lineBytes;
     };
+    // Declare the initial (zero) contents of the contended lines so
+    // the offline checker has a complete candidate-write base.
+    for (unsigned line = 0; line < cfg.lines; ++line)
+        for (unsigned slot = 0; slot < 8; ++slot)
+            tracer.init(line_addr(line) + slot * 8, 8, 0);
     // At most 8 writers (one per 8-byte slot), spread across nodes;
     // everyone else is a reader.
     const unsigned wstride = std::max(1u, ncpus / 8);
@@ -166,6 +176,10 @@ TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
     }
     ASSERT_EQ(errors, 0u);
 
+    // The invariant-checked traffic phase is over and the system has
+    // drained: every cached copy must now be current.
+    tracer.mark(sys.eq.curTick(), markerSettled);
+
     // Final convergence: every slot readable everywhere with its
     // writer's newest value.
     for (unsigned line = 0; line < cfg.lines; ++line) {
@@ -178,20 +192,51 @@ TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
                 << "line " << line << " slot " << slot;
         }
     }
+
+#if PIRANHA_COHERENCE_TRACE
+    // Second, independent oracle: replay the captured coherence trace
+    // through the offline axiomatic checker.
+    ASSERT_EQ(tracer.dropped(), 0u)
+        << "trace ring too small for this configuration";
+    CheckReport report = checkCoherence(tracer.events());
+    EXPECT_TRUE(report.ok()) << report.summary(tracer.events());
+#endif
+}
+
+/**
+ * Expand each base configuration over several seeds (two for the
+ * 32-CPU stress points to bound runtime). Different seeds explore
+ * different interleavings of the same contention pattern.
+ */
+std::vector<TesterConfig>
+sweepConfigs()
+{
+    const TesterConfig base[] = {
+        {1, 2, 4, 400, 0},
+        {1, 8, 8, 400, 0},
+        {1, 8, 2, 600, 0},  // heavy same-line contention
+        {2, 4, 8, 400, 0},
+        {2, 8, 4, 500, 0},
+        {3, 4, 6, 400, 0},
+        {4, 2, 4, 400, 0},
+        {4, 8, 3, 300, 0},  // max contention, 32 CPUs
+        {4, 4, 16, 500, 0},
+    };
+    std::vector<TesterConfig> out;
+    std::uint64_t seed = 0xA;
+    for (const TesterConfig &b : base) {
+        unsigned nseeds = b.nodes * b.cpusPerChip >= 32 ? 2 : 3;
+        for (unsigned s = 0; s < nseeds; ++s) {
+            TesterConfig c = b;
+            c.seed = seed++;
+            out.push_back(c);
+        }
+    }
+    return out;
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, CoherenceRandomTest,
-    ::testing::Values(
-        TesterConfig{1, 2, 4, 400, 0xA},
-        TesterConfig{1, 8, 8, 400, 0xB},
-        TesterConfig{1, 8, 2, 600, 0xC},  // heavy same-line contention
-        TesterConfig{2, 4, 8, 400, 0xD},
-        TesterConfig{2, 8, 4, 500, 0xE},
-        TesterConfig{3, 4, 6, 400, 0xF},
-        TesterConfig{4, 2, 4, 400, 0x10},
-        TesterConfig{4, 8, 3, 300, 0x11}, // max contention, 32 CPUs
-        TesterConfig{4, 4, 16, 500, 0x12}),
+    Sweep, CoherenceRandomTest, ::testing::ValuesIn(sweepConfigs()),
     [](const ::testing::TestParamInfo<TesterConfig> &info) {
         const auto &c = info.param;
         return strFormat("n%uc%ul%u_%llu", c.nodes, c.cpusPerChip,

@@ -12,16 +12,6 @@
 namespace piranha {
 namespace {
 
-/** An address homed at @p node (page-interleaved homes). */
-Addr
-homedAt(const TestSystem &sys, unsigned node, unsigned line = 0)
-{
-    Addr a = 0x4000000 + line * lineBytes;
-    while (sys.amap.home(a) != node)
-        a += 1ULL << sys.amap.pageShift;
-    return a;
-}
-
 TEST(MultiChip, RemoteLoadFromHomeMemory)
 {
     TestSystem sys(2, 2);

@@ -15,31 +15,6 @@
 namespace piranha {
 namespace {
 
-Addr
-homedAt(const TestSystem &sys, unsigned node)
-{
-    Addr a = 0x5000000;
-    while (sys.amap.home(a) != node)
-        a += 1ULL << sys.amap.pageShift;
-    return a;
-}
-
-/** Issue an access without waiting for completion. */
-void
-fire(TestSystem &sys, unsigned node, unsigned cpu, MemOp op, Addr a,
-     std::uint64_t v, bool *done = nullptr)
-{
-    MemReq req;
-    req.op = op;
-    req.addr = a;
-    req.size = 8;
-    req.value = v;
-    sys.chips[node]->dl1(cpu).access(req, [done](const MemRsp &) {
-        if (done)
-            *done = true;
-    });
-}
-
 TEST(ProtocolRace, WritebackCrossesForward)
 {
     // Node 1 owns a line exclusively, then evicts it (Wb to home)

@@ -133,6 +133,33 @@ class TestSystem
     std::vector<std::unique_ptr<PiranhaChip>> chips;
 };
 
+/** An address homed at @p node (page-interleaved homes); @p line
+ *  selects distinct lines within the chosen page. */
+inline Addr
+homedAt(const TestSystem &sys, unsigned node, unsigned line = 0)
+{
+    Addr a = 0x5000000 + line * lineBytes;
+    while (sys.amap.home(a) != node)
+        a += 1ULL << sys.amap.pageShift;
+    return a;
+}
+
+/** Issue an access without waiting for completion. */
+inline void
+fire(TestSystem &sys, unsigned node, unsigned cpu, MemOp op, Addr a,
+     std::uint64_t v, bool *done = nullptr)
+{
+    MemReq req;
+    req.op = op;
+    req.addr = a;
+    req.size = 8;
+    req.value = v;
+    sys.chips[node]->dl1(cpu).access(req, [done](const MemRsp &) {
+        if (done)
+            *done = true;
+    });
+}
+
 } // namespace piranha
 
 #endif // PIRANHA_TESTS_TEST_SYSTEM_H
