@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Simulator-throughput benchmark for the event kernel.
+ *
+ * Two measurements, written to BENCH_kernel.json (and printed):
+ *
+ *  1. Event-churn microbenchmark — the schedule/execute pattern that
+ *     dominates simulation (per-cycle self-rescheduling "ticks" plus
+ *     payload-carrying "messages"), run on the preserved
+ *     closure/priority-queue kernel (LegacyEventQueue, the "before")
+ *     and on the intrusive wheel/heap kernel (EventQueue, the
+ *     "after"). Reports events/sec, speedup and heap allocations per
+ *     event (counted with a global operator-new override — this
+ *     binary does not share code with the test runners).
+ *
+ *  2. Fig 6(a)-shaped end-to-end run — P8 under OLTP, executed
+ *     heap-only and wheel-enabled on the same binary
+ *     (EventQueue::setDefaultWheelEnabled), checking that both modes
+ *     produce bit-identical simulation stats and reporting simulated
+ *     events per host second for each.
+ *
+ * Usage: kernel_bench [--json FILE]   (default BENCH_kernel.json)
+ */
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+
+#include "bench_util.h"
+#include "sim/legacy_event_queue.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n ? n : 1);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+namespace piranha {
+namespace {
+
+using HostClock = std::chrono::steady_clock;
+
+double
+secondsSince(HostClock::time_point t0)
+{
+    return std::chrono::duration<double>(HostClock::now() - t0).count();
+}
+
+/** A cache-line-sized message payload, as carried by IcsMsg fills. */
+using Payload = std::array<std::uint8_t, 64>;
+
+constexpr Tick kCycle = 2000;        // one 500 MHz cycle
+constexpr unsigned kComponents = 64; // concurrent schedulers
+constexpr std::uint64_t kTargetEvents = 4'000'000;
+
+struct ChurnResult
+{
+    std::uint64_t events = 0;
+    std::uint64_t allocs = 0;
+    double seconds = 0;
+    std::uint64_t checksum = 0;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(events) / seconds : 0;
+    }
+};
+
+/**
+ * "Before": each component reschedules a small-capture tick closure
+ * every cycle and sends one payload-capturing message closure per
+ * tick — the pattern of the old ICS/L2/protocol schedulers, where
+ * the payload capture exceeds std::function's small buffer and
+ * allocates per message.
+ */
+struct LegacyComp
+{
+    LegacyEventQueue *eq = nullptr;
+    std::uint64_t *checksum = nullptr;
+    std::uint64_t target = 0;
+    Payload payload{};
+
+    void
+    tick()
+    {
+        if (eq->executed() >= target)
+            return;
+        Payload p = payload;
+        eq->scheduleIn(kCycle,
+                       [this, p] { *checksum += p[0] + 1; });
+        eq->scheduleIn(kCycle, [this] { tick(); });
+    }
+};
+
+ChurnResult
+runLegacyChurn()
+{
+    LegacyEventQueue eq;
+    ChurnResult r;
+    std::vector<LegacyComp> comps(kComponents);
+    for (unsigned i = 0; i < kComponents; ++i) {
+        comps[i].eq = &eq;
+        comps[i].checksum = &r.checksum;
+        comps[i].target = kTargetEvents;
+        comps[i].payload[0] = static_cast<std::uint8_t>(i);
+        eq.scheduleIn(kCycle, [c = &comps[i]] { c->tick(); });
+    }
+    std::uint64_t allocs0 = g_allocs.load();
+    HostClock::time_point t0 = HostClock::now();
+    eq.run();
+    r.seconds = secondsSince(t0);
+    r.allocs = g_allocs.load() - allocs0;
+    r.events = eq.executed();
+    return r;
+}
+
+/**
+ * "After": the same logical schedule on the intrusive kernel — a
+ * member event for the tick, a pooled payload event for the message.
+ */
+struct NewComp
+{
+    struct MsgEvent final : public Event
+    {
+        NewComp *comp = nullptr;
+        Payload p{};
+
+        void
+        process() override
+        {
+            NewComp *c = comp;
+            std::uint8_t head = p[0];
+            c->msgPool.release(this);
+            *c->checksum += head + 1;
+        }
+        const char *eventName() const override { return "bench.msg"; }
+    };
+
+    EventQueue *eq = nullptr;
+    std::uint64_t *checksum = nullptr;
+    std::uint64_t target = 0;
+    Payload payload{};
+    EventPool<MsgEvent> msgPool;
+
+    void
+    tick()
+    {
+        if (eq->executed() >= target)
+            return;
+        MsgEvent *m = msgPool.acquire();
+        m->comp = this;
+        m->p = payload;
+        eq->scheduleIn(*m, kCycle);
+        eq->scheduleIn(tickEvent, kCycle);
+    }
+
+    MemberEvent<NewComp, &NewComp::tick> tickEvent{this, "bench.tick"};
+};
+
+ChurnResult
+runIntrusiveChurn(bool use_wheel)
+{
+    EventQueue eq(use_wheel);
+    ChurnResult r;
+    std::vector<std::unique_ptr<NewComp>> comps;
+    for (unsigned i = 0; i < kComponents; ++i) {
+        comps.push_back(std::make_unique<NewComp>());
+        NewComp &c = *comps.back();
+        c.eq = &eq;
+        c.checksum = &r.checksum;
+        c.target = kTargetEvents;
+        c.payload[0] = static_cast<std::uint8_t>(i);
+        eq.scheduleIn(c.tickEvent, kCycle);
+    }
+    std::uint64_t allocs0 = g_allocs.load();
+    HostClock::time_point t0 = HostClock::now();
+    eq.run();
+    r.seconds = secondsSince(t0);
+    r.allocs = g_allocs.load() - allocs0;
+    r.events = eq.executed();
+    return r;
+}
+
+struct E2eResult
+{
+    RunResult run;
+    double seconds = 0;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0
+                   ? static_cast<double>(run.eventsExecuted) / seconds
+                   : 0;
+    }
+};
+
+E2eResult
+runE2e(bool use_wheel)
+{
+    EventQueue::setDefaultWheelEnabled(use_wheel);
+    E2eResult r;
+    OltpWorkload wl;
+    HostClock::time_point t0 = HostClock::now();
+    r.run = runFixedWork(configPn(8), wl, kOltpTotalTxns);
+    r.seconds = secondsSince(t0);
+    EventQueue::setDefaultWheelEnabled(true);
+    return r;
+}
+
+JsonValue
+churnJson(const ChurnResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("events", r.events);
+    o.set("host_seconds", r.seconds);
+    o.set("events_per_sec", r.eventsPerSec());
+    o.set("allocs", r.allocs);
+    o.set("allocs_per_event",
+          r.events ? static_cast<double>(r.allocs) /
+                         static_cast<double>(r.events)
+                   : 0);
+    return o;
+}
+
+JsonValue
+e2eJson(const E2eResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("events", r.run.eventsExecuted);
+    o.set("host_seconds", r.seconds);
+    o.set("events_per_sec", r.eventsPerSec());
+    o.set("exec_time_ps", static_cast<std::uint64_t>(r.run.execTime));
+    o.set("work", r.run.work);
+    return o;
+}
+
+} // namespace
+} // namespace piranha
+
+int
+main(int argc, char **argv)
+{
+    using namespace piranha;
+
+    std::string json_path = "BENCH_kernel.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
+    std::cout << "=== Event-kernel throughput ===\n\n";
+
+    std::printf("churn microbenchmark (%u schedulers, %llu events):\n",
+                kComponents,
+                static_cast<unsigned long long>(kTargetEvents));
+    ChurnResult legacy = runLegacyChurn();
+    ChurnResult wheel = runIntrusiveChurn(true);
+    ChurnResult heap_only = runIntrusiveChurn(false);
+    if (legacy.checksum != wheel.checksum ||
+        legacy.checksum != heap_only.checksum) {
+        std::cerr << "checksum mismatch between kernels\n";
+        return 1;
+    }
+    double churn_speedup =
+        legacy.eventsPerSec() > 0
+            ? wheel.eventsPerSec() / legacy.eventsPerSec()
+            : 0;
+    std::printf("  legacy (closures + priority queue): "
+                "%.2fM ev/s, %.3f allocs/event\n",
+                legacy.eventsPerSec() / 1e6,
+                double(legacy.allocs) / double(legacy.events));
+    std::printf("  intrusive heap-only:                "
+                "%.2fM ev/s, %.3f allocs/event\n",
+                heap_only.eventsPerSec() / 1e6,
+                double(heap_only.allocs) / double(heap_only.events));
+    std::printf("  intrusive wheel:                    "
+                "%.2fM ev/s, %.3f allocs/event\n",
+                wheel.eventsPerSec() / 1e6,
+                double(wheel.allocs) / double(wheel.events));
+    std::printf("  speedup (wheel vs legacy):          %.2fx\n\n",
+                churn_speedup);
+
+    std::printf("end-to-end P8/OLTP (%llu txns):\n",
+                static_cast<unsigned long long>(kOltpTotalTxns));
+    E2eResult e2e_heap = runE2e(false);
+    E2eResult e2e_wheel = runE2e(true);
+    bool stats_identical =
+        flattenRunResult(e2e_heap.run) ==
+        flattenRunResult(e2e_wheel.run);
+    if (!stats_identical) {
+        std::cerr << "heap-only and wheel runs diverged\n";
+        return 1;
+    }
+    double e2e_speedup = e2e_heap.eventsPerSec() > 0
+                             ? e2e_wheel.eventsPerSec() /
+                                   e2e_heap.eventsPerSec()
+                             : 0;
+    std::printf("  heap-only: %.2fM ev/s (%.2fs host)\n",
+                e2e_heap.eventsPerSec() / 1e6, e2e_heap.seconds);
+    std::printf("  wheel:     %.2fM ev/s (%.2fs host)\n",
+                e2e_wheel.eventsPerSec() / 1e6, e2e_wheel.seconds);
+    std::printf("  stats bit-identical across modes: yes\n");
+    std::printf("  wheel vs heap-only: %.2fx\n\n", e2e_speedup);
+
+    JsonValue root = JsonValue::object();
+    root.set("bench", "kernel");
+    JsonValue churn = JsonValue::object();
+    churn.set("before_legacy_closures", churnJson(legacy));
+    churn.set("after_intrusive_heap_only", churnJson(heap_only));
+    churn.set("after_intrusive_wheel", churnJson(wheel));
+    churn.set("speedup_wheel_vs_legacy", churn_speedup);
+    churn.set("meets_1_5x", churn_speedup >= 1.5);
+    root.set("churn", std::move(churn));
+    JsonValue e2e = JsonValue::object();
+    e2e.set("before_heap_only", e2eJson(e2e_heap));
+    e2e.set("after_wheel", e2eJson(e2e_wheel));
+    e2e.set("speedup", e2e_speedup);
+    e2e.set("stats_identical", stats_identical);
+    root.set("e2e_p8_oltp", std::move(e2e));
+
+    std::ofstream os(json_path);
+    if (!os) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    root.write(os, 2);
+    os << "\n";
+    std::cout << "report written to " << json_path << "\n";
+
+    return churn_speedup >= 1.5 ? 0 : 2;
+}

@@ -41,18 +41,59 @@ L1Cache::lineState(Addr addr) const
 }
 
 void
-L1Cache::respond(MemRspFn &rsp, std::uint64_t value, FillSource src,
+L1Cache::RespondEvent::process()
+{
+    // Detach payload and recycle before invoking: the completion may
+    // issue the CPU's next access, which can claim this very event.
+    RspHandler h = std::move(handler);
+    handler.reset();
+    MemRsp r = rsp;
+    cache->_respondEvents.release(this);
+    h(r);
+}
+
+void
+L1Cache::DrainEvent::process()
+{
+    // Recycle before draining: the drain pass may schedule the next
+    // one, and the legacy kernel allowed two passes in flight.
+    L1Cache *c = cache;
+    c->_drainEvents.release(this);
+    c->drainStoreBuffer();
+}
+
+void
+L1Cache::scheduleDrain()
+{
+    scheduleIn(*_drainEvents.acquire(this), _clk.cycles(1));
+}
+
+void
+L1Cache::respond(RspHandler &rsp, std::uint64_t value, FillSource src,
                  unsigned extra_cycles)
 {
     if (!rsp)
         return;
-    MemRsp r{value, src};
-    scheduleIn(_clk.cycles(_p.hitCycles + extra_cycles),
-               [rsp = std::move(rsp), r] { rsp(r); });
+    RespondEvent *ev = _respondEvents.acquire(this);
+    ev->handler = std::move(rsp);
+    ev->rsp = MemRsp{value, src};
+    scheduleIn(*ev, _clk.cycles(_p.hitCycles + extra_cycles));
 }
 
 void
 L1Cache::access(const MemReq &req, MemRspFn rsp)
+{
+    startAccess(req, RspHandler(std::move(rsp)));
+}
+
+void
+L1Cache::access(const MemReq &req, MemRspClient *client)
+{
+    startAccess(req, RspHandler(client));
+}
+
+void
+L1Cache::startAccess(const MemReq &req, RspHandler rsp)
 {
     if (_p.isInstr && req.op != MemOp::Ifetch)
         panic("%s: non-ifetch op to instruction cache", name().c_str());
@@ -123,7 +164,7 @@ L1Cache::tryStart()
             _cpuQueue.pop_front();
             if (!_drainScheduled) {
                 _drainScheduled = true;
-                scheduleIn(_clk.cycles(1), [this] { drainStoreBuffer(); });
+                scheduleDrain();
             }
             continue;
         }
@@ -190,7 +231,7 @@ L1Cache::tryStart()
 }
 
 void
-L1Cache::issueMiss(const MemReq &req, MemRspFn rsp, bool is_upgrade)
+L1Cache::issueMiss(const MemReq &req, RspHandler rsp, bool is_upgrade)
 {
     ++statMisses;
     _mshr.valid = true;
@@ -436,9 +477,9 @@ L1Cache::completeMiss(const IcsMsg &msg)
 
     // Complete the CPU-side operation.
     MemReq req = _mshr.req;
-    MemRspFn rsp = std::move(_mshr.rsp);
+    RspHandler rsp = std::move(_mshr.rsp);
     _mshr.valid = false;
-    _mshr.rsp = nullptr;
+    _mshr.rsp.reset();
 
     switch (req.op) {
       case MemOp::Load:
@@ -480,7 +521,7 @@ L1Cache::completeMiss(const IcsMsg &msg)
 
     if (!_drainScheduled && !_sb.empty()) {
         _drainScheduled = true;
-        scheduleIn(_clk.cycles(1), [this] { drainStoreBuffer(); });
+        scheduleDrain();
     }
     tryStart();
 }
@@ -499,7 +540,7 @@ L1Cache::drainStoreBuffer()
         tryStart(); // a CPU store may be waiting for a free SB slot
         if (!_sb.empty()) {
             _drainScheduled = true;
-            scheduleIn(_clk.cycles(1), [this] { drainStoreBuffer(); });
+            scheduleDrain();
         }
         return;
     }
@@ -512,7 +553,7 @@ L1Cache::drainStoreBuffer()
         tryStart();
         if (!_sb.empty()) {
             _drainScheduled = true;
-            scheduleIn(_clk.cycles(1), [this] { drainStoreBuffer(); });
+            scheduleDrain();
         }
         return;
     }
@@ -521,7 +562,7 @@ L1Cache::drainStoreBuffer()
     req.addr = e.addr;
     req.size = e.size;
     req.value = e.value;
-    issueMiss(req, nullptr, l && l->state == L1State::S);
+    issueMiss(req, RspHandler{}, l && l->state == L1State::S);
 }
 
 void

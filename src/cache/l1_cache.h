@@ -40,6 +40,43 @@
 
 namespace piranha {
 
+/**
+ * Completion target of one CPU-side access: either a long-lived
+ * MemRspClient (the Core — allocation-free) or a MemRspFn closure
+ * (tests, litmus drivers). At most one of the two is set.
+ */
+struct RspHandler
+{
+    MemRspClient *client = nullptr;
+    MemRspFn fn;
+
+    RspHandler() = default;
+    RspHandler(MemRspClient *c) : client(c) {}
+    RspHandler(MemRspFn f) : fn(std::move(f)) {}
+    RspHandler(std::nullptr_t) {}
+
+    explicit operator bool() const
+    {
+        return client != nullptr || static_cast<bool>(fn);
+    }
+
+    void
+    reset()
+    {
+        client = nullptr;
+        fn = nullptr;
+    }
+
+    void
+    operator()(const MemRsp &r)
+    {
+        if (client)
+            client->memRsp(r);
+        else
+            fn(r);
+    }
+};
+
 /** One L1 line: MESI state + payload. */
 struct L1Line : TagLine
 {
@@ -86,6 +123,9 @@ class L1Cache : public SimObject, public IcsClient
      */
     void access(const MemReq &req, MemRspFn rsp);
 
+    /** Same, completing through a long-lived client (no allocation). */
+    void access(const MemReq &req, MemRspClient *client);
+
     void icsDeliver(const IcsMsg &msg) override;
 
     /** Current MESI state of the line containing @p addr. */
@@ -117,7 +157,7 @@ class L1Cache : public SimObject, public IcsClient
     {
         bool valid = false;
         MemReq req;
-        MemRspFn rsp;          //!< null for store-buffer drains
+        RspHandler rsp;        //!< empty for store-buffer drains
         Addr lineAddr = 0;
         bool isUpgrade = false;
         bool haveVictim = false;
@@ -134,16 +174,42 @@ class L1Cache : public SimObject, public IcsClient
     struct PendingCpu
     {
         MemReq req;
-        MemRspFn rsp;
+        RspHandler rsp;
     };
 
-    void respond(MemRspFn &rsp, std::uint64_t value, FillSource src,
+    /** Carries one delayed CPU completion (handler + response). */
+    struct RespondEvent final : public Event
+    {
+        explicit RespondEvent(L1Cache *c) : cache(c) {}
+        void process() override;
+        const char *eventName() const override { return "l1.respond"; }
+        L1Cache *cache;
+        RspHandler handler;
+        MemRsp rsp;
+    };
+
+    /**
+     * One scheduled store-buffer drain pass. Pooled: the drain loop's
+     * tail reschedule is deliberately unguarded (tryStart may already
+     * have scheduled a pass for a store it just accepted), so two
+     * passes can legitimately be in flight at once.
+     */
+    struct DrainEvent final : public Event
+    {
+        explicit DrainEvent(L1Cache *c) : cache(c) {}
+        void process() override;
+        const char *eventName() const override { return "l1.drain"; }
+        L1Cache *cache;
+    };
+
+    void respond(RspHandler &rsp, std::uint64_t value, FillSource src,
                  unsigned extra_cycles = 0);
     void tryStart();
-    void startAccess(const MemReq &req, MemRspFn rsp);
-    void issueMiss(const MemReq &req, MemRspFn rsp, bool is_upgrade);
+    void startAccess(const MemReq &req, RspHandler rsp);
+    void issueMiss(const MemReq &req, RspHandler rsp, bool is_upgrade);
     void completeMiss(const IcsMsg &msg);
     void drainStoreBuffer();
+    void scheduleDrain();
     void applyStore(L1Line &line, const SbEntry &e);
     std::uint64_t composeLoad(const L1Line &line, Addr addr,
                               unsigned size) const;
@@ -163,7 +229,13 @@ class L1Cache : public SimObject, public IcsClient
     Mshr _mshr;
     std::deque<SbEntry> _sb;
     std::deque<PendingCpu> _cpuQueue;
+    /** Set when a drain pass is scheduled; cleared when one begins
+     *  executing (so the pass itself reschedules without a guard). */
     bool _drainScheduled = false;
+    EventPool<DrainEvent> _drainEvents;
+    /** One respond in flight is the in-order-CPU steady state; test
+     *  drivers that pipeline accesses overflow into pooled events. */
+    EventPool<RespondEvent> _respondEvents;
     std::function<void(Addr)> _evictionListener;
     StatGroup _stats;
 };

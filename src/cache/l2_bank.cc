@@ -111,49 +111,69 @@ L2Bank::canProcess(const Info &info, const IcsMsg &msg) const
 }
 
 void
+L2Bank::MsgEvent::process()
+{
+    // Detach the payload and recycle before dispatching: the handler
+    // may deliver or drain further messages through this pool.
+    IcsMsg m = std::move(msg);
+    bool retry = drainRetry;
+    L2Bank *b = bank;
+    b->_msgEvents.release(this);
+    if (retry)
+        b->drainRetryDispatch(std::move(m));
+    else
+        b->lookupDispatch(std::move(m));
+}
+
+void
 L2Bank::icsDeliver(const IcsMsg &msg)
 {
-    IcsMsg m = msg;
-    scheduleIn(_clk.cycles(_p.lookupCycles), [this, m = std::move(m)] {
-        switch (m.type) {
-          case IcsMsgType::GetS:
-          case IcsMsgType::GetX:
-          case IcsMsgType::Upgrade:
-          case IcsMsgType::Wh64Req:
-            onL1Request(m);
-            break;
-          case IcsMsgType::WbData:
-            onWbData(m);
-            break;
-          case IcsMsgType::FwdDone:
-            onFwdDone(m);
-            break;
-          case IcsMsgType::PeerFillS:
-          case IcsMsgType::PeerFillX:
-            onGatherData(m);
-            break;
-          case IcsMsgType::PeData:
-            onPeData(m);
-            break;
-          case IcsMsgType::PeReadLocal:
-            onPeReadLocal(m);
-            break;
-          case IcsMsgType::PeInvalLocal:
-            onPeInvalLocal(m);
-            break;
-          case IcsMsgType::PeComplete: {
-            Info &info = infoFor(m.addr);
-            if (!info.peActive || info.peTxn.kind != Info::Txn::PeHeld)
-                panic("%s: PeComplete without held line",
-                      name().c_str());
-            finishPeTxn(m.addr);
-            break;
-          }
-          default:
-            panic("%s: unexpected ICS message %s", name().c_str(),
-                  icsMsgTypeName(m.type));
-        }
-    });
+    MsgEvent *ev = _msgEvents.acquire(this);
+    ev->msg = msg;
+    ev->drainRetry = false;
+    scheduleIn(*ev, _clk.cycles(_p.lookupCycles));
+}
+
+void
+L2Bank::lookupDispatch(IcsMsg m)
+{
+    switch (m.type) {
+      case IcsMsgType::GetS:
+      case IcsMsgType::GetX:
+      case IcsMsgType::Upgrade:
+      case IcsMsgType::Wh64Req:
+        onL1Request(m);
+        break;
+      case IcsMsgType::WbData:
+        onWbData(m);
+        break;
+      case IcsMsgType::FwdDone:
+        onFwdDone(m);
+        break;
+      case IcsMsgType::PeerFillS:
+      case IcsMsgType::PeerFillX:
+        onGatherData(m);
+        break;
+      case IcsMsgType::PeData:
+        onPeData(m);
+        break;
+      case IcsMsgType::PeReadLocal:
+        onPeReadLocal(m);
+        break;
+      case IcsMsgType::PeInvalLocal:
+        onPeInvalLocal(m);
+        break;
+      case IcsMsgType::PeComplete: {
+        Info &info = infoFor(m.addr);
+        if (!info.peActive || info.peTxn.kind != Info::Txn::PeHeld)
+            panic("%s: PeComplete without held line", name().c_str());
+        finishPeTxn(m.addr);
+        break;
+      }
+      default:
+        panic("%s: unexpected ICS message %s", name().c_str(),
+              icsMsgTypeName(m.type));
+    }
 }
 
 void
@@ -1034,30 +1054,37 @@ L2Bank::drainBlocked(Addr addr)
         return;
     IcsMsg next = std::move(*pick);
     q.erase(pick);
-    scheduleIn(_clk.cycles(1), [this, next = std::move(next)]() mutable {
-        Addr a = next.addr;
-        switch (next.type) {
-          case IcsMsgType::PeReadLocal:
-            onPeReadLocal(std::move(next));
-            break;
-          case IcsMsgType::PeInvalLocal:
-            onPeInvalLocal(std::move(next));
-            break;
-          default: {
-            Info &info = infoFor(a);
-            if (!canProcess(info, next)) {
-                info.blocked.push_front(std::move(next));
-                return;
-            }
-            bool wb_decision = false;
-            if (next.hasVictim)
-                wb_decision = handleVictim(next);
-            dispatchL1Request(std::move(next), wb_decision);
-            break;
-          }
+    MsgEvent *ev = _msgEvents.acquire(this);
+    ev->msg = std::move(next);
+    ev->drainRetry = true;
+    scheduleIn(*ev, _clk.cycles(1));
+}
+
+void
+L2Bank::drainRetryDispatch(IcsMsg next)
+{
+    Addr a = next.addr;
+    switch (next.type) {
+      case IcsMsgType::PeReadLocal:
+        onPeReadLocal(std::move(next));
+        break;
+      case IcsMsgType::PeInvalLocal:
+        onPeInvalLocal(std::move(next));
+        break;
+      default: {
+        Info &info = infoFor(a);
+        if (!canProcess(info, next)) {
+            info.blocked.push_front(std::move(next));
+            return;
         }
-        drainBlocked(a);
-    });
+        bool wb_decision = false;
+        if (next.hasVictim)
+            wb_decision = handleVictim(next);
+        dispatchL1Request(std::move(next), wb_decision);
+        break;
+      }
+    }
+    drainBlocked(a);
 }
 
 } // namespace piranha

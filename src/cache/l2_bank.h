@@ -181,12 +181,30 @@ class L2Bank : public SimObject, public IcsClient
         Txn peTxn;
     };
 
+    /**
+     * One in-flight bank-pipeline occurrence: a delivered message
+     * waiting out the lookup latency, or a blocked request waiting
+     * out the one-cycle drain delay. Pooled because several messages
+     * can be in the lookup pipeline at once.
+     */
+    struct MsgEvent final : public Event
+    {
+        explicit MsgEvent(L2Bank *b) : bank(b) {}
+        void process() override;
+        const char *eventName() const override { return "l2.msg"; }
+        L2Bank *bank;
+        IcsMsg msg;
+        bool drainRetry = false;
+    };
+
     bool isLocal(Addr addr) const { return _amap.home(addr) == _node; }
 
     Info &infoFor(Addr addr) { return _info[lineNum(addr)]; }
     void maybeErase(Addr addr);
 
     // Request-side handlers.
+    void lookupDispatch(IcsMsg m);
+    void drainRetryDispatch(IcsMsg next);
     void onL1Request(IcsMsg msg);
     void dispatchL1Request(IcsMsg msg, bool wb_decision);
     bool handleVictim(const IcsMsg &msg);
@@ -228,6 +246,7 @@ class L2Bank : public SimObject, public IcsClient
     TagArray<L2Line> _tags;
     std::unordered_map<Addr, Info> _info; //!< keyed by line number
     std::function<void(Addr, const LineData &, bool)> _wbBufferHook;
+    EventPool<MsgEvent> _msgEvents;
     StatGroup _stats;
 };
 

@@ -46,7 +46,7 @@ void
 Core::start(InstrStream *stream)
 {
     _stream = stream;
-    scheduleIn(0, [this] { nextOp(); });
+    scheduleIn(_nextOpEvent, 0);
 }
 
 void
@@ -63,7 +63,7 @@ Core::nextOp()
         Tick t = _clk.cycles(op.count);
         statIdle += static_cast<double>(t);
         _accounted += t;
-        scheduleIn(t, [this] { nextOp(); });
+        scheduleIn(_nextOpEvent, t);
         return;
       }
       default:
@@ -86,12 +86,10 @@ Core::fetchThenExecute(StreamOp op)
     req.op = MemOp::Ifetch;
     req.addr = op.pc;
     req.size = static_cast<std::uint8_t>(_p.ifetchBytes);
-    Tick issued = curTick();
-    _il1.access(req, [this, op, issued](const MemRsp &rsp) {
-        StreamOp o = op;
-        completeMem(o, issued, true, rsp);
-        execute(o);
-    });
+    _pendingOp = op;
+    _pendingIssued = curTick();
+    _pendingIfetch = true;
+    _il1.access(req, this);
 }
 
 void
@@ -101,11 +99,15 @@ Core::execute(StreamOp op)
       case StreamOp::Kind::Compute: {
         statInstrs += op.count;
         double cycles = op.count * busyCyclesPerInstr();
-        Tick t = std::max<Tick>(
-            1, static_cast<Tick>(cycles * _clk.period()));
+        // Carry the sub-tick remainder into the next block so that
+        // fractional busy cycles (issueWidth > 1) are not truncated
+        // away on every block.
+        double want = cycles * _clk.period() + _busyCarry;
+        Tick t = want < 1 ? 1 : static_cast<Tick>(want);
+        _busyCarry = want - static_cast<double>(t);
         statBusy += static_cast<double>(t);
         _accounted += t;
-        scheduleIn(t, [this] { nextOp(); });
+        scheduleIn(_nextOpEvent, t);
         return;
       }
       case StreamOp::Kind::Load:
@@ -124,16 +126,28 @@ Core::execute(StreamOp op)
         req.op = op.kind == StreamOp::Kind::Load    ? MemOp::Load
                  : op.kind == StreamOp::Kind::Store ? MemOp::Store
                                                     : MemOp::Wh64;
-        Tick issued = curTick();
-        _dl1.access(req, [this, op, issued](const MemRsp &rsp) {
-            completeMem(op, issued, false, rsp);
-            _stream->memCompleted(op, rsp.value);
-            nextOp();
-        });
+        _pendingOp = op;
+        _pendingIssued = curTick();
+        _pendingIfetch = false;
+        _dl1.access(req, this);
         return;
       }
       default:
         panic("%s: bad op kind", name().c_str());
+    }
+}
+
+void
+Core::memRsp(const MemRsp &rsp)
+{
+    StreamOp op = _pendingOp;
+    if (_pendingIfetch) {
+        completeMem(op, _pendingIssued, true, rsp);
+        execute(op);
+    } else {
+        completeMem(op, _pendingIssued, false, rsp);
+        _stream->memCompleted(op, rsp.value);
+        nextOp();
     }
 }
 

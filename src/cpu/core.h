@@ -42,7 +42,7 @@ struct CoreParams
 };
 
 /** A CPU core driving one dL1/iL1 pair. */
-class Core : public SimObject
+class Core : public SimObject, public MemRspClient
 {
   public:
     Core(EventQueue &eq, std::string name, const Clock &clk,
@@ -84,6 +84,8 @@ class Core : public SimObject
                      const MemRsp &rsp);
     void chargeStall(Tick stall, FillSource source);
     void nextOp();
+    /** L1 completion for the single outstanding access. */
+    void memRsp(const MemRsp &rsp) override;
     double busyCyclesPerInstr() const;
 
     const Clock &_clk;
@@ -95,8 +97,16 @@ class Core : public SimObject
     bool _done = false;
     Addr _lastFetchLine = ~Addr(0);
     Tick _accounted = 0;
-    double _credit = 0;    //!< overlap credit in ticks
-    double _creditCap = 0; //!< window-derived cap in ticks
+    double _credit = 0;      //!< overlap credit in ticks
+    double _creditCap = 0;   //!< window-derived cap in ticks
+    double _busyCarry = 0;   //!< sub-tick busy remainder carried
+                             //!< across compute blocks
+    // In-order core: exactly one L1 access outstanding, tracked here
+    // instead of in a per-access closure.
+    StreamOp _pendingOp{};
+    Tick _pendingIssued = 0;
+    bool _pendingIfetch = false;
+    MemberEvent<Core, &Core::nextOp> _nextOpEvent{this, "core.nextOp"};
     StatGroup _stats;
 };
 

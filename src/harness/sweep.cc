@@ -85,6 +85,7 @@ flattenRunResult(const RunResult &r)
     m["miss_mem_local"] = r.misses.memLocal;
     m["miss_mem_remote"] = r.misses.memRemote;
     m["miss_remote_dirty"] = r.misses.remoteDirty;
+    m["events_executed"] = static_cast<double>(r.eventsExecuted);
     return m;
 }
 
@@ -126,6 +127,7 @@ SweepReport::toJson(bool include_stat_tree) const
         jo.set("config", j.run.config);
         jo.set("workload", j.run.workload);
         jo.set("host_seconds", j.hostSeconds);
+        jo.set("events_per_host_sec", j.eventsPerHostSec);
         if (!j.error.empty())
             jo.set("error", j.error);
         if (j.status == JobStatus::Ok) {

@@ -108,6 +108,9 @@ struct JobResult
     std::map<std::string, double> stats;  //!< flat named stats from run
     JsonValue statTree;                   //!< full StatGroup snapshot
     double hostSeconds = 0;               //!< wall-clock cost of the job
+    /** Kernel events per host second — a host-timing figure, kept
+     *  out of `stats` so bit-identity comparisons ignore it. */
+    double eventsPerHostSec = 0;
 };
 
 /** Flatten a RunResult into the report's named-stat map. */

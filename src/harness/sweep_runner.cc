@@ -90,6 +90,9 @@ SweepRunner::runJob(const SweepPoint &pt) const
     }
 
     jr.hostSeconds = secondsSince(t0);
+    if (jr.status == JobStatus::Ok && jr.hostSeconds > 0)
+        jr.eventsPerHostSec =
+            static_cast<double>(jr.run.eventsExecuted) / jr.hostSeconds;
     return jr;
 }
 

@@ -27,6 +27,10 @@ IntraChipSwitch::IntraChipSwitch(EventQueue &eq, std::string name,
     : SimObject(eq, std::move(name)), _clk(clk),
       _pipeCycles(pipe_cycles), _ports(ports)
 {
+    for (std::size_t i = 0; i < _ports.size(); ++i) {
+        _ports[i].pumpEvent.sw = this;
+        _ports[i].pumpEvent.port = static_cast<int>(i);
+    }
 }
 
 void
@@ -58,9 +62,8 @@ IntraChipSwitch::send(IcsMsg msg)
     p.queue[static_cast<int>(lane)].push_back(std::move(msg));
     if (!p.pumping) {
         p.pumping = true;
-        int port = static_cast<int>(&p - _ports.data());
         // Arbitration happens on the next edge.
-        scheduleIn(0, [this, port] { pump(port); });
+        scheduleIn(p.pumpEvent, 0);
     }
 }
 
@@ -88,12 +91,11 @@ IntraChipSwitch::pump(int port)
     statQueueDelay.sample(static_cast<double>(start - now) /
                           static_cast<double>(ticksPerNs));
 
-    IcsClient *client = p.client;
-    eventQueue().schedule(deliver, [client, msg = std::move(msg)] {
-        client->icsDeliver(msg);
-    });
+    p.deliverEvent.client = p.client;
+    p.deliverEvent.msg = std::move(msg);
+    schedule(p.deliverEvent, deliver);
     // Pump the next message when the datapath frees up.
-    eventQueue().schedule(p.freeAt, [this, port] { pump(port); });
+    schedule(p.pumpEvent, p.freeAt);
 }
 
 void

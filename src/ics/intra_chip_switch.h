@@ -91,12 +91,41 @@ class IntraChipSwitch : public SimObject
     Histogram statQueueDelay{1000.0, 64}; //!< ns buckets
 
   private:
+    /** Fires the destination-port arbitration loop. */
+    struct PumpEvent final : public Event
+    {
+        void process() override { sw->pump(port); }
+        const char *eventName() const override { return "ics.pump"; }
+        IntraChipSwitch *sw = nullptr;
+        int port = -1;
+    };
+
+    /** Completes one transfer at its destination client. */
+    struct DeliverEvent final : public Event
+    {
+        void
+        process() override
+        {
+            IcsMsg m = std::move(msg);
+            client->icsDeliver(m);
+        }
+        const char *eventName() const override { return "ics.deliver"; }
+        IcsClient *client = nullptr;
+        IcsMsg msg;
+    };
+
     struct Port
     {
         IcsClient *client = nullptr;
         std::deque<IcsMsg> queue[2]; //!< per-lane FIFOs
         Tick freeAt = 0;             //!< datapath busy-until
         bool pumping = false;
+        // One pump and one delivery can be in flight per port: the
+        // next delivery is only scheduled by the pump that fires at
+        // or after the previous delivery's tick (same-tick pairs are
+        // ordered delivery-first by seq).
+        PumpEvent pumpEvent;
+        DeliverEvent deliverEvent;
     };
 
     void pump(int port);

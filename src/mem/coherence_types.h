@@ -96,6 +96,19 @@ struct MemRsp
 /** CPU completion callback. */
 using MemRspFn = std::function<void(const MemRsp &)>;
 
+/**
+ * Allocation-free alternative to MemRspFn: a long-lived requester
+ * (the Core) implements this interface and the L1 calls back through
+ * it instead of through a freshly captured closure per access.
+ */
+class MemRspClient
+{
+  public:
+    virtual ~MemRspClient() = default;
+    /** One outstanding access of this client completed. */
+    virtual void memRsp(const MemRsp &rsp) = 0;
+};
+
 /** MESI state of an L1 line (2-bit state field per line, §2.1). */
 enum class L1State : std::uint8_t
 {

@@ -65,14 +65,24 @@ MemCtrl::pump()
         // The requester restarts on the critical word; the rest of
         // the line streams during the channel occupancy window.
         Tick done_at = now + lat;
-        BackingStore::Line snapshot = _store.line(op.addr);
-        MemReadFn done = std::move(op.done);
-        eventQueue().schedule(done_at,
-                              [done = std::move(done), snapshot] {
-                                  done(snapshot.data, snapshot.dirBits);
-                              });
+        ReadDoneEvent *ev = _readDoneEvents.acquire(this);
+        ev->done = std::move(op.done);
+        ev->snapshot = _store.line(op.addr);
+        schedule(*ev, done_at);
     }
-    scheduleIn(occupancy, [this] { pump(); });
+    scheduleIn(_pumpEvent, occupancy);
+}
+
+void
+MemCtrl::ReadDoneEvent::process()
+{
+    // Recycle before invoking: the completion may enqueue further
+    // reads, which may claim this event for their own completions.
+    MemReadFn fn = std::move(done);
+    done = nullptr;
+    BackingStore::Line line = snapshot;
+    mc->_readDoneEvents.release(this);
+    fn(line.data, line.dirBits);
 }
 
 } // namespace piranha

@@ -62,12 +62,25 @@ class MemCtrl : public SimObject
         MemReadFn done;
     };
 
+    /** Carries one read completion (callback + line snapshot). */
+    struct ReadDoneEvent final : public Event
+    {
+        explicit ReadDoneEvent(MemCtrl *m) : mc(m) {}
+        void process() override;
+        const char *eventName() const override { return "mc.readDone"; }
+        MemCtrl *mc;
+        MemReadFn done;
+        BackingStore::Line snapshot;
+    };
+
     void pump();
 
     BackingStore &_store;
     RdramChannel _chan;
     std::deque<Op> _queue;
     bool _busy = false;
+    MemberEvent<MemCtrl, &MemCtrl::pump> _pumpEvent{this, "mc.pump"};
+    EventPool<ReadDoneEvent> _readDoneEvents;
     StatGroup _stats;
 };
 

@@ -314,12 +314,26 @@ ProtocolEngine::tryConsumeQueued(TsrfEntry &t, bool net_side)
 }
 
 void
+ProtocolEngine::StepEvent::process()
+{
+    ProtocolEngine *e = engine;
+    e->_stepEvents.release(this);
+    e->step();
+}
+
+void
+ProtocolEngine::scheduleStep(Tick delta)
+{
+    scheduleIn(*_stepEvents.acquire(this), delta);
+}
+
+void
 ProtocolEngine::wake()
 {
     if (_stepScheduled)
         return;
     _stepScheduled = true;
-    scheduleIn(0, [this] { step(); });
+    scheduleStep(0);
 }
 
 void
@@ -343,7 +357,7 @@ ProtocolEngine::step()
         return;
     executeOne(*ready);
     _stepScheduled = true;
-    scheduleIn(_clk.cycles(1), [this] { step(); });
+    scheduleStep(_clk.cycles(1));
 }
 
 void

@@ -146,8 +146,24 @@ class ProtocolEngine : public SimObject, public IcsClient
         IcsMsg local;
     };
 
+    /**
+     * One scheduled step() occurrence. Pooled (not a single member
+     * event) because a wake() raised from inside executeOne() can put
+     * a second step in flight next to the end-of-step reschedule —
+     * the legacy closure kernel allowed that, and bit-identical
+     * replay requires keeping each schedule call distinct.
+     */
+    struct StepEvent final : public Event
+    {
+        explicit StepEvent(ProtocolEngine *e) : engine(e) {}
+        void process() override;
+        const char *eventName() const override { return "pe.step"; }
+        ProtocolEngine *engine;
+    };
+
     void wake();
     void step();
+    void scheduleStep(Tick delta);
     void executeOne(TsrfEntry &t);
     void retire(TsrfEntry &t);
     void spawnOrQueue(QMsg &&m);
@@ -172,6 +188,7 @@ class ProtocolEngine : public SimObject, public IcsClient
     std::deque<QMsg> _globalQueue;
     bool _stepScheduled = false;
     std::size_t _rrNext = 0;
+    EventPool<StepEvent> _stepEvents;
     StatGroup _stats;
 };
 

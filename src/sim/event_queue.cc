@@ -1,0 +1,64 @@
+#include "sim/event_queue.h"
+
+namespace piranha {
+
+EventQueue::~EventQueue()
+{
+    // Detach every still-pending or heap-referenced event so that
+    // component events outliving the queue do not touch freed storage
+    // from ~Event. Pooled LambdaEvents are members destroyed after
+    // this body runs; detaching covers them too.
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        for (Event *ev = _bucketHead[b]; ev;) {
+            Event *next = ev->_next;
+            ev->_prev = ev->_next = nullptr;
+            ev->_sched = false;
+            ev->_inWheel = false;
+            ev->_eq = nullptr;
+            ev = next;
+        }
+        _bucketHead[b] = _bucketTail[b] = nullptr;
+    }
+    for (HeapEnt &e : _heap) {
+        if (e.ev) {
+            e.ev->_sched = false;
+            e.ev->_heapRefs = 0;
+            e.ev->_eq = nullptr;
+        }
+    }
+    _heap.clear();
+}
+
+LambdaEvent *
+EventQueue::acquireLambda()
+{
+    if (_lambdaFree.empty()) {
+        _lambdaPool.push_back(std::make_unique<LambdaEvent>());
+        _lambdaPool.back()->_owner = this;
+        return _lambdaPool.back().get();
+    }
+    LambdaEvent *ev = _lambdaFree.back();
+    _lambdaFree.pop_back();
+    return ev;
+}
+
+void
+EventQueue::releaseLambda(LambdaEvent *ev)
+{
+    _lambdaFree.push_back(ev);
+}
+
+void
+EventQueue::purgeHeapRefs(Event *ev)
+{
+    // Called from ~Event when stale heap entries still name the
+    // dying event: blank them out so lazy validation never touches
+    // freed memory. Rare (an event destroyed after a deschedule of a
+    // far-future occurrence), so a linear scan is fine.
+    for (HeapEnt &e : _heap)
+        if (e.ev == ev)
+            e.ev = nullptr;
+    ev->_heapRefs = 0;
+}
+
+} // namespace piranha

@@ -40,7 +40,17 @@ class SimObject
     Tick curTick() const { return _eq.curTick(); }
 
   protected:
-    /** Convenience: schedule a member-closure @p delta ticks from now. */
+    /** Schedule an owned intrusive event @p delta ticks from now. */
+    void scheduleIn(Event &ev, Tick delta) { _eq.scheduleIn(ev, delta); }
+
+    /** Schedule an owned intrusive event at absolute tick @p when. */
+    void schedule(Event &ev, Tick when) { _eq.schedule(ev, when); }
+
+    /**
+     * Convenience: schedule a member-closure @p delta ticks from now.
+     * Cold paths only — hot paths should own an Event (see
+     * DESIGN.md "Event kernel").
+     */
     void
     scheduleIn(Tick delta, EventFn fn)
     {

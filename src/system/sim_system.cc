@@ -70,6 +70,7 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
     }
 
     Tick deadline = _eq.curTick() + max_time;
+    std::uint64_t events_before = _eq.executed();
     bool aborted = false;
     std::uint64_t iter = 0;
     for (;;) {
@@ -97,6 +98,7 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
     r.config = _cfg.name;
     r.workload = wl.name();
     r.aborted = aborted;
+    r.eventsExecuted = _eq.executed() - events_before;
     double busy = 0, hit = 0, miss = 0, idle = 0;
     for (unsigned i = 0; i < ncpus; ++i) {
         r.execTime = std::max(r.execTime, _cores[i]->accountedTime());

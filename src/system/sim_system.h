@@ -42,6 +42,9 @@ struct RunResult
     double instructions = 0;
     double rdramPageHitRate = 0;
 
+    /** Kernel events executed by this run (deterministic). */
+    std::uint64_t eventsExecuted = 0;
+
     /** True when the run was stopped by an abort check or max_time. */
     bool aborted = false;
 

@@ -146,6 +146,24 @@ TEST(Core, OverlapHidesMissLatency)
               0.5 * inorder.core->statL2MissStall.value());
 }
 
+TEST(Core, FractionalCyclesCarryAcrossComputeBlocks)
+{
+    // ilp 3.0 on a 4-wide core: each 1-instruction block costs 1/3
+    // cycle = 666.67 ticks at 500 MHz. Per-block truncation used to
+    // lose the fractional 2/3 tick every block (3000 blocks: 1998000
+    // ticks of accounted busy time instead of 2000000); the carried
+    // remainder must keep the long-run total exact.
+    CoreParams ooo;
+    ooo.issueWidth = 4;
+    ooo.windowSize = 64;
+    ooo.ilp = WorkloadIlp{3.0, 0.0};
+    CoreHarness h(ooo);
+    for (int i = 0; i < 3000; ++i)
+        h.stream.compute(1);
+    h.run();
+    EXPECT_NEAR(h.core->statBusy.value(), 2000000.0, 10.0);
+}
+
 TEST(Core, IfetchFollowsPcLines)
 {
     CoreHarness h;
