@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Host-side timing and allocation-counting helpers shared by the
+ * throughput benches (kernel_bench, datapath_bench).
+ *
+ * Timing is a steady_clock read; allocation counting works by
+ * overriding the global operator new/delete, which must be defined
+ * exactly once per binary — a bench that wants it places
+ * PIRANHA_BENCH_DEFINE_ALLOC_COUNTER at file scope (outside any
+ * namespace) and reads benchAllocCount(). Benches that link into the
+ * test runners must not use the macro.
+ */
+
+#ifndef PIRANHA_BENCH_HOST_TIMER_H
+#define PIRANHA_BENCH_HOST_TIMER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace piranha {
+namespace bench {
+
+using HostClock = std::chrono::steady_clock;
+
+inline double
+secondsSince(HostClock::time_point t0)
+{
+    return std::chrono::duration<double>(HostClock::now() - t0).count();
+}
+
+/** Global heap-allocation counter fed by the operator-new override. */
+inline std::atomic<std::uint64_t> g_allocs{0};
+
+inline std::uint64_t
+benchAllocCount()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+/** Times an interval and the allocations made during it. */
+struct Interval
+{
+    HostClock::time_point t0 = HostClock::now();
+    std::uint64_t allocs0 = benchAllocCount();
+
+    double seconds() const { return secondsSince(t0); }
+    std::uint64_t allocs() const { return benchAllocCount() - allocs0; }
+};
+
+} // namespace bench
+} // namespace piranha
+
+/** Define the counting global operator new/delete (once per binary,
+ *  at file scope outside any namespace). */
+#define PIRANHA_BENCH_DEFINE_ALLOC_COUNTER                             \
+    void *operator new(std::size_t n)                                  \
+    {                                                                  \
+        ::piranha::bench::g_allocs.fetch_add(                          \
+            1, std::memory_order_relaxed);                             \
+        if (void *p = std::malloc(n ? n : 1))                          \
+            return p;                                                  \
+        throw std::bad_alloc{};                                        \
+    }                                                                  \
+    void *operator new(std::size_t n, const std::nothrow_t &) noexcept \
+    {                                                                  \
+        ::piranha::bench::g_allocs.fetch_add(                          \
+            1, std::memory_order_relaxed);                             \
+        return std::malloc(n ? n : 1);                                 \
+    }                                                                  \
+    void operator delete(void *p) noexcept { std::free(p); }           \
+    void operator delete(void *p, std::size_t) noexcept               \
+    {                                                                  \
+        std::free(p);                                                  \
+    }                                                                  \
+    void operator delete(void *p, const std::nothrow_t &) noexcept     \
+    {                                                                  \
+        std::free(p);                                                  \
+    }
+
+#endif // PIRANHA_BENCH_HOST_TIMER_H

@@ -23,54 +23,19 @@
  */
 
 #include <array>
-#include <atomic>
-#include <chrono>
-#include <cstdlib>
 #include <fstream>
-#include <new>
 
 #include "bench_util.h"
+#include "host_timer.h"
 #include "sim/legacy_event_queue.h"
 
-namespace {
-
-std::atomic<std::uint64_t> g_allocs{0};
-
-} // namespace
-
-void *
-operator new(std::size_t n)
-{
-    g_allocs.fetch_add(1, std::memory_order_relaxed);
-    if (void *p = std::malloc(n ? n : 1))
-        return p;
-    throw std::bad_alloc{};
-}
-
-void *
-operator new(std::size_t n, const std::nothrow_t &) noexcept
-{
-    g_allocs.fetch_add(1, std::memory_order_relaxed);
-    return std::malloc(n ? n : 1);
-}
-
-void operator delete(void *p) noexcept { std::free(p); }
-void operator delete(void *p, std::size_t) noexcept { std::free(p); }
-void operator delete(void *p, const std::nothrow_t &) noexcept
-{
-    std::free(p);
-}
+PIRANHA_BENCH_DEFINE_ALLOC_COUNTER
 
 namespace piranha {
 namespace {
 
-using HostClock = std::chrono::steady_clock;
-
-double
-secondsSince(HostClock::time_point t0)
-{
-    return std::chrono::duration<double>(HostClock::now() - t0).count();
-}
+using bench::HostClock;
+using bench::secondsSince;
 
 /** A cache-line-sized message payload, as carried by IcsMsg fills. */
 using Payload = std::array<std::uint8_t, 64>;
@@ -132,11 +97,10 @@ runLegacyChurn()
         comps[i].payload[0] = static_cast<std::uint8_t>(i);
         eq.scheduleIn(kCycle, [c = &comps[i]] { c->tick(); });
     }
-    std::uint64_t allocs0 = g_allocs.load();
-    HostClock::time_point t0 = HostClock::now();
+    bench::Interval iv;
     eq.run();
-    r.seconds = secondsSince(t0);
-    r.allocs = g_allocs.load() - allocs0;
+    r.seconds = iv.seconds();
+    r.allocs = iv.allocs();
     r.events = eq.executed();
     return r;
 }
@@ -199,11 +163,10 @@ runIntrusiveChurn(bool use_wheel)
         c.payload[0] = static_cast<std::uint8_t>(i);
         eq.scheduleIn(c.tickEvent, kCycle);
     }
-    std::uint64_t allocs0 = g_allocs.load();
-    HostClock::time_point t0 = HostClock::now();
+    bench::Interval iv;
     eq.run();
-    r.seconds = secondsSince(t0);
-    r.allocs = g_allocs.load() - allocs0;
+    r.seconds = iv.seconds();
+    r.allocs = iv.allocs();
     r.events = eq.executed();
     return r;
 }

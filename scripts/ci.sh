@@ -10,9 +10,14 @@
 #                                     the protocol/tracer paths)
 #   scripts/ci.sh perf [build-dir]    Release+LTO build and tests
 #                                     (gating), then the event-kernel
-#                                     throughput benchmark
-#                                     (non-gating; writes
-#                                     BENCH_kernel.json)
+#                                     and datapath throughput
+#                                     benchmarks (non-gating; write
+#                                     BENCH_kernel.json and
+#                                     BENCH_datapath.ci.json, warn on
+#                                     >15% regression vs the committed
+#                                     BENCH_datapath.json) and a
+#                                     profiler-breakdown artifact
+#                                     (PROFILE_breakdown.json)
 set -euo pipefail
 
 MODE=tier1
@@ -55,4 +60,36 @@ if [[ "$MODE" == "perf" ]]; then
     # not fail the pipeline. The build and tests above still gate.
     "$BUILD_DIR"/bench/kernel_bench --json BENCH_kernel.json ||
         echo "kernel_bench below target (non-gating); see BENCH_kernel.json"
+
+    # Datapath benchmark: the stats-identity check inside the bench IS
+    # gating (a fast-vs-slow divergence is a correctness bug, not a
+    # slow host); only the throughput comparison below is advisory.
+    "$BUILD_DIR"/bench/datapath_bench --repeat 3 \
+        --baseline BENCH_kernel.json --json BENCH_datapath.ci.json
+
+    # Warn (never fail) when P8/OLTP host throughput regresses more
+    # than 15% against the committed reference numbers.
+    if command -v python3 >/dev/null; then
+        python3 - <<'PYEOF' || true
+import json
+ref = json.load(open("BENCH_datapath.json"))
+cur = json.load(open("BENCH_datapath.ci.json"))
+r = ref["e2e_p8_oltp"]["fast"]["events_per_sec"]
+c = cur["e2e_p8_oltp"]["fast"]["events_per_sec"]
+print(f"datapath P8/OLTP: {c/1e6:.2f}M events/host-sec "
+      f"(committed reference {r/1e6:.2f}M)")
+if c < 0.85 * r:
+    print(f"WARNING: datapath throughput regressed "
+          f"{(1 - c/r) * 100:.1f}% vs BENCH_datapath.json (non-gating)")
+PYEOF
+    fi
+
+    # Host-time profiler breakdown artifact: a separate small build
+    # with PIRANHA_PROFILE=ON (the instrumented build would taint the
+    # benchmark numbers above).
+    cmake -B "$BUILD_DIR-prof" -S "$(dirname "$0")/.." \
+        -DCMAKE_BUILD_TYPE=Release -DPIRANHA_PROFILE=ON
+    cmake --build "$BUILD_DIR-prof" -j "$JOBS" --target sweep_main
+    "$BUILD_DIR-prof"/bench/sweep_main quick --threads 1 \
+        --json PROFILE_breakdown.json
 fi

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/trace.h"
+#include "sim/profiler.h"
 
 namespace piranha {
 
@@ -14,6 +15,9 @@ L1Cache::L1Cache(EventQueue &eq, std::string name, const L1Params &params,
       _tags(params.sizeBytes, params.assoc, ReplPolicy::Lru),
       _stats(this->name())
 {
+    // The store buffer has a hard depth bound; size it once so the
+    // hot push/pop never regrows.
+    _sb.reserve(_p.storeBufferDepth);
 }
 
 void
@@ -43,6 +47,7 @@ L1Cache::lineState(Addr addr) const
 void
 L1Cache::RespondEvent::process()
 {
+    PIR_PROF(L1);
     // Detach payload and recycle before invoking: the completion may
     // issue the CPU's next access, which can claim this very event.
     RspHandler h = std::move(handler);
@@ -55,6 +60,7 @@ L1Cache::RespondEvent::process()
 void
 L1Cache::DrainEvent::process()
 {
+    PIR_PROF(L1);
     // Recycle before draining: the drain pass may schedule the next
     // one, and the legacy kernel allowed two passes in flight.
     L1Cache *c = cache;
@@ -74,6 +80,7 @@ L1Cache::respond(RspHandler &rsp, std::uint64_t value, FillSource src,
 {
     if (!rsp)
         return;
+    ++respondEventsScheduled;
     RespondEvent *ev = _respondEvents.acquire(this);
     ev->handler = std::move(rsp);
     ev->rsp = MemRsp{value, src};
@@ -92,9 +99,123 @@ L1Cache::access(const MemReq &req, MemRspClient *client)
     startAccess(req, RspHandler(client));
 }
 
+bool
+L1Cache::accessFast(const MemReq &req, MemRsp &out)
+{
+#if !PIRANHA_L1_FASTPATH
+    (void)req;
+    (void)out;
+    return false;
+#else
+    // Each arm below mirrors the corresponding tryStart() hit arm
+    // exactly — same gating, same stats, same trace records at the
+    // same tick — minus the respond() event. Anything tryStart would
+    // queue, block, or miss on is refused with no side effects; the
+    // caller falls back to access(), which behaves identically, so
+    // refusal is always safe. Hits deliberately do NOT check the
+    // MSHR: the slow path completes hits while a store-buffer drain
+    // miss is outstanding, and this path must too.
+    if (!_cpuQueue.empty())
+        return false; // queued work must keep its FIFO order
+
+    if (req.op == MemOp::Store && req.atomic) {
+        L1Line *l = _tags.find(req.addr);
+        if (!(l && (l->state == L1State::M || l->state == L1State::E)))
+            return false;
+        PIR_TRACE(_p.tracer,
+                  TraceEvent{.tick = curTick(),
+                             .kind = TraceKind::StoreIssue,
+                             .node = _p.node,
+                             .l1 = _l1Id,
+                             .size = req.size,
+                             .addr = req.addr,
+                             .value = req.value});
+        applyStore(*l, SbEntry{req.addr, req.size, req.value});
+        ++statHits;
+        ++fastHits;
+        out = MemRsp{0, FillSource::L1};
+        return true;
+    }
+
+    if (req.op == MemOp::Store) {
+        if (_sb.size() >= _p.storeBufferDepth)
+            return false; // must queue behind the drain
+        _sb.push_back(SbEntry{req.addr, req.size, req.value});
+        PIR_TRACE(_p.tracer,
+                  TraceEvent{.tick = curTick(),
+                             .kind = TraceKind::StoreIssue,
+                             .node = _p.node,
+                             .l1 = _l1Id,
+                             .size = req.size,
+                             .addr = req.addr,
+                             .value = req.value});
+        ++statHits;
+        ++fastHits;
+        out = MemRsp{0, FillSource::StoreBuffer};
+        if (!_drainScheduled) {
+            // Deferred: the drain must file after the caller's
+            // completion position (see commitFastDrain).
+            _drainScheduled = true;
+            _fastDrainPending = true;
+        }
+        return true;
+    }
+
+    if (req.op == MemOp::Wh64) {
+        L1Line *l = _tags.find(req.addr);
+        if (!(l && (l->state == L1State::M || l->state == L1State::E)))
+            return false;
+        l->state = L1State::M;
+        _tags.touch(*l);
+        ++statHits;
+        ++fastHits;
+        out = MemRsp{0, FillSource::L1};
+        return true;
+    }
+
+    // Load / Ifetch.
+    std::uint64_t sb_value = 0;
+    if (!_p.isInstr && sbCovers(req.addr, req.size, sb_value)) {
+        ++statHits;
+        ++statSbForwards;
+        ++fastHits;
+        PIR_TRACE(_p.tracer,
+                  TraceEvent{.tick = curTick(),
+                             .kind = TraceKind::LoadCommit,
+                             .node = _p.node,
+                             .l1 = _l1Id,
+                             .size = req.size,
+                             .src = FillSource::StoreBuffer,
+                             .addr = req.addr,
+                             .value = sb_value});
+        out = MemRsp{sb_value, FillSource::StoreBuffer};
+        return true;
+    }
+    L1Line *l = _tags.find(req.addr);
+    if (!l)
+        return false;
+    _tags.touch(*l);
+    ++statHits;
+    ++fastHits;
+    std::uint64_t v = composeLoad(*l, req.addr, req.size);
+    PIR_TRACE(_p.tracer,
+              TraceEvent{.tick = curTick(),
+                         .kind = TraceKind::LoadCommit,
+                         .node = _p.node,
+                         .l1 = _l1Id,
+                         .size = req.size,
+                         .src = FillSource::L1,
+                         .addr = req.addr,
+                         .value = v});
+    out = MemRsp{v, FillSource::L1};
+    return true;
+#endif // PIRANHA_L1_FASTPATH
+}
+
 void
 L1Cache::startAccess(const MemReq &req, RspHandler rsp)
 {
+    PIR_PROF(L1);
     if (_p.isInstr && req.op != MemOp::Ifetch)
         panic("%s: non-ifetch op to instruction cache", name().c_str());
     if (!_p.isInstr && req.op == MemOp::Ifetch)
@@ -295,6 +416,7 @@ L1Cache::sendToBank(IcsMsg msg, Addr addr)
 void
 L1Cache::icsDeliver(const IcsMsg &msg)
 {
+    PIR_PROF(L1);
     switch (msg.type) {
       case IcsMsgType::FillS:
       case IcsMsgType::FillX:
@@ -614,23 +736,23 @@ L1Cache::sbCovers(Addr addr, unsigned size, std::uint64_t &value) const
 {
     std::uint64_t v = 0;
     auto *bytes = reinterpret_cast<std::uint8_t *>(&v);
-    unsigned covered = 0;
-    std::vector<bool> have(size, false);
+    // Accesses are at most 8 bytes, so a per-byte coverage bitmask
+    // replaces the per-call std::vector<bool> the old loop allocated.
+    std::uint64_t have = 0;
+    const std::uint64_t full = size >= 64 ? ~std::uint64_t(0)
+                                          : (std::uint64_t(1) << size) - 1;
     for (const SbEntry &e : _sb) {
         for (unsigned b = 0; b < e.size; ++b) {
             Addr ba = e.addr + b;
             if (ba >= addr && ba < addr + size) {
                 unsigned idx = static_cast<unsigned>(ba - addr);
-                if (!have[idx]) {
-                    have[idx] = true;
-                    ++covered;
-                }
+                have |= std::uint64_t(1) << idx;
                 bytes[idx] =
                     static_cast<std::uint8_t>(e.value >> (8 * b));
             }
         }
     }
-    if (covered == size) {
+    if (have == full) {
         value = v;
         return true;
     }

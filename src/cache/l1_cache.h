@@ -29,12 +29,12 @@
 #ifndef PIRANHA_CACHE_L1_CACHE_H
 #define PIRANHA_CACHE_L1_CACHE_H
 
-#include <deque>
 #include <functional>
 
 #include "cache/tag_array.h"
 #include "ics/intra_chip_switch.h"
 #include "mem/coherence_types.h"
+#include "sim/ring_buffer.h"
 #include "sim/sim_object.h"
 #include "stats/stats.h"
 
@@ -125,6 +125,44 @@ class L1Cache : public SimObject, public IcsClient
 
     /** Same, completing through a long-lived client (no allocation). */
     void access(const MemReq &req, MemRspClient *client);
+
+    /**
+     * Fast-path probe: if @p req is a hit that the slow path would
+     * complete synchronously (tag hit, store-buffer space, SB-covered
+     * load), perform the cache-side effects now — stats, trace,
+     * store-buffer insert, line update — write the response into
+     * @p out and return true WITHOUT scheduling anything. The caller
+     * (Core) owns the hit-latency delay: it either schedules its own
+     * completion event or, when the event queue is provably quiet,
+     * advances the clock and completes inline. Returns false (no side
+     * effects) for anything the slow path would queue or miss on;
+     * callers then use access() unchanged.
+     *
+     * A fast store that arms the drain must be followed by
+     * commitFastDrain() once the caller has fixed its completion
+     * position, so the drain files after the (real or virtual)
+     * response event — the slow path's respond-then-drain order.
+     */
+    bool accessFast(const MemReq &req, MemRsp &out);
+
+    /** Schedule the drain pass deferred by a fast store (see above). */
+    void
+    commitFastDrain()
+    {
+        if (_fastDrainPending) {
+            _fastDrainPending = false;
+            scheduleDrain();
+        }
+    }
+
+    /** Hit latency in cycles (fast-path callers model the delay). */
+    unsigned hitLatencyCycles() const { return _p.hitCycles; }
+
+    /** Hits completed through accessFast (not a Scalar: host-side
+     *  instrumentation must stay out of the bit-identical stat set). */
+    std::uint64_t fastHits = 0;
+    /** respond() events scheduled (slow-path completions). */
+    std::uint64_t respondEventsScheduled = 0;
 
     void icsDeliver(const IcsMsg &msg) override;
 
@@ -227,11 +265,13 @@ class L1Cache : public SimObject, public IcsClient
 
     TagArray<L1Line> _tags;
     Mshr _mshr;
-    std::deque<SbEntry> _sb;
-    std::deque<PendingCpu> _cpuQueue;
+    RingBuffer<SbEntry> _sb;
+    RingBuffer<PendingCpu> _cpuQueue;
     /** Set when a drain pass is scheduled; cleared when one begins
      *  executing (so the pass itself reschedules without a guard). */
     bool _drainScheduled = false;
+    /** Fast store armed the drain; scheduled by commitFastDrain(). */
+    bool _fastDrainPending = false;
     EventPool<DrainEvent> _drainEvents;
     /** One respond in flight is the in-order-CPU steady state; test
      *  drivers that pipeline accesses overflow into pooled events. */

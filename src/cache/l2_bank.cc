@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "check/trace.h"
+#include "sim/profiler.h"
 
 namespace piranha {
 
@@ -45,16 +46,16 @@ L2Bank::regStats(StatGroup &parent)
 std::uint32_t
 L2Bank::dupSharers(Addr addr) const
 {
-    auto it = _info.find(lineNum(addr));
-    return it == _info.end() ? 0 : it->second.sharers;
+    const Info *i = _info.find(lineNum(addr));
+    return i ? i->sharers : 0;
 }
 
 void
 L2Bank::debugDump(std::ostream &os) const
 {
-    for (const auto &[line, info] : _info) {
+    _info.forEach([&](Addr line, const Info &info) {
         if (!info.busy && !info.peActive && info.blocked.empty())
-            continue;
+            return;
         os << "  " << name() << " line=" << std::hex << (line << 6)
            << std::dec << " busy=" << info.busy
            << " txn=" << static_cast<int>(info.txn.kind)
@@ -64,27 +65,28 @@ L2Bank::debugDump(std::ostream &os) const
            << " sharers=" << std::hex << info.sharers << std::dec
            << " owner=" << info.ownerL1 << " l1Excl=" << info.l1Excl
            << " nodeExcl=" << info.nodeExcl << "\n";
-    }
+    });
 }
 
 bool
 L2Bank::lineBusy(Addr addr) const
 {
-    auto it = _info.find(lineNum(addr));
-    return it != _info.end() &&
-           (it->second.busy || it->second.peActive);
+    const Info *i = _info.find(lineNum(addr));
+    return i && (i->busy || i->peActive);
 }
 
 void
 L2Bank::maybeErase(Addr addr)
 {
-    auto it = _info.find(lineNum(addr));
-    if (it == _info.end())
+    const Info *i = _info.find(lineNum(addr));
+    if (!i)
         return;
-    const Info &i = it->second;
-    if (!i.busy && !i.peActive && i.blocked.empty() && i.sharers == 0 &&
-        !i.nodeExcl && !i.nodeDirty && !_tags.find(addr)) {
-        _info.erase(it);
+    if (!i->busy && !i->peActive && i->blocked.empty() &&
+        i->sharers == 0 && !i->nodeExcl && !i->nodeDirty &&
+        !_tags.find(addr)) {
+        if (_lastInfo == i)
+            _lastInfo = nullptr;
+        _info.erase(lineNum(addr));
     }
 }
 
@@ -113,6 +115,7 @@ L2Bank::canProcess(const Info &info, const IcsMsg &msg) const
 void
 L2Bank::MsgEvent::process()
 {
+    PIR_PROF(L2);
     // Detach the payload and recycle before dispatching: the handler
     // may deliver or drain further messages through this pool.
     IcsMsg m = std::move(msg);
@@ -128,6 +131,7 @@ L2Bank::MsgEvent::process()
 void
 L2Bank::icsDeliver(const IcsMsg &msg)
 {
+    PIR_PROF(L2);
     MsgEvent *ev = _msgEvents.acquire(this);
     ev->msg = msg;
     ev->drainRetry = false;
@@ -1036,23 +1040,23 @@ L2Bank::finishPeTxn(Addr addr)
 void
 L2Bank::drainBlocked(Addr addr)
 {
-    auto it = _info.find(lineNum(addr));
-    if (it == _info.end() || it->second.blocked.empty())
+    Info *info = _info.find(lineNum(addr));
+    if (!info || info->blocked.empty())
         return;
     // Oldest-first, but engine-initiated ops may overtake blocked L1
     // requests (they interleave with a parked L1Engine transaction;
     // holding them back would deadlock the engines).
-    auto &q = it->second.blocked;
-    auto pick = q.end();
-    for (auto qit = q.begin(); qit != q.end(); ++qit) {
-        if (canProcess(it->second, *qit)) {
-            pick = qit;
+    auto &q = info->blocked;
+    std::size_t pick = q.size();
+    for (std::size_t qi = 0; qi < q.size(); ++qi) {
+        if (canProcess(*info, q[qi])) {
+            pick = qi;
             break;
         }
     }
-    if (pick == q.end())
+    if (pick == q.size())
         return;
-    IcsMsg next = std::move(*pick);
+    IcsMsg next = std::move(q[pick]);
     q.erase(pick);
     MsgEvent *ev = _msgEvents.acquire(this);
     ev->msg = std::move(next);

@@ -30,14 +30,13 @@
 #ifndef PIRANHA_CACHE_L2_BANK_H
 #define PIRANHA_CACHE_L2_BANK_H
 
-#include <deque>
-#include <unordered_map>
-
 #include "cache/tag_array.h"
 #include "ics/intra_chip_switch.h"
 #include "mem/coherence_types.h"
 #include "mem/directory.h"
 #include "mem/mem_ctrl.h"
+#include "sim/line_table.h"
+#include "sim/ring_buffer.h"
 #include "sim/sim_object.h"
 #include "stats/stats.h"
 #include "system/address_map.h"
@@ -141,7 +140,7 @@ class L2Bank : public SimObject, public IcsClient
 
         bool busy = false;     //!< an L1-request transaction is active
         bool peActive = false; //!< an engine-initiated op is active
-        std::deque<IcsMsg> blocked;
+        RingBuffer<IcsMsg> blocked;
 
         /** Active transaction state. */
         struct Txn
@@ -199,7 +198,23 @@ class L2Bank : public SimObject, public IcsClient
 
     bool isLocal(Addr addr) const { return _amap.home(addr) == _node; }
 
-    Info &infoFor(Addr addr) { return _info[lineNum(addr)]; }
+    /** Per-line state lookup with a one-entry cache: handler chains
+     *  touch the same line several times per message, and the repeat
+     *  hash probes were measurable under OLTP. Safe because
+     *  StableLineTable values are pointer-stable; maybeErase drops the
+     *  cached entry. */
+    Info &
+    infoFor(Addr addr)
+    {
+        Addr line = lineNum(addr);
+        if (_lastInfo && _lastInfoLine == line)
+            return *_lastInfo;
+        Info &i = _info[line];
+        _lastInfoLine = line;
+        _lastInfo = &i;
+        return i;
+    }
+
     void maybeErase(Addr addr);
 
     // Request-side handlers.
@@ -244,7 +259,12 @@ class L2Bank : public SimObject, public IcsClient
     MemCtrl &_mc;
 
     TagArray<L2Line> _tags;
-    std::unordered_map<Addr, Info> _info; //!< keyed by line number
+    /** Keyed by line number; values pointer-stable (the protocol code
+     *  holds Info& across calls that may create state for other
+     *  lines). */
+    StableLineTable<Info> _info;
+    Addr _lastInfoLine = 0;
+    Info *_lastInfo = nullptr;
     std::function<void(Addr, const LineData &, bool)> _wbBufferHook;
     EventPool<MsgEvent> _msgEvents;
     StatGroup _stats;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/profiler.h"
+
 namespace piranha {
 
 Core::Core(EventQueue &eq, std::string name, const Clock &clk,
@@ -16,6 +18,9 @@ Core::Core(EventQueue &eq, std::string name, const Clock &clk,
         // the bound is the window depth in cycles.
         _creditCap = static_cast<double>(_clk.cycles(_p.windowSize));
     }
+#if PIRANHA_L1_FASTPATH
+    _fastEnabled = _p.fastPath && defaultFastPathEnabled();
+#endif
 }
 
 void
@@ -52,47 +57,117 @@ Core::start(InstrStream *stream)
 void
 Core::nextOp()
 {
-    if (_done)
-        return;
-    StreamOp op = _stream->next();
-    switch (op.kind) {
-      case StreamOp::Kind::Done:
-        _done = true;
-        return;
-      case StreamOp::Kind::Idle: {
-        Tick t = _clk.cycles(op.count);
-        statIdle += static_cast<double>(t);
-        _accounted += t;
-        scheduleIn(_nextOpEvent, t);
-        return;
-      }
-      default:
-        fetchThenExecute(op);
-        return;
+    PIR_PROF(Core);
+    // Op loop: a zero-event fast hit completes inline with the clock
+    // advanced to its hit-latency tick, so the next op is pulled here
+    // instead of through a scheduled event — same ticks, same stream
+    // pull order, no recursion for long hit streaks.
+    while (!_done) {
+        StreamOp op = _stream->next();
+        switch (op.kind) {
+          case StreamOp::Kind::Done:
+            _done = true;
+            return;
+          case StreamOp::Kind::Idle: {
+            Tick t = _clk.cycles(op.count);
+            statIdle += static_cast<double>(t);
+            _accounted += t;
+            scheduleIn(_nextOpEvent, t);
+            return;
+          }
+          default:
+            if (!fetchThenExecute(op))
+                return;
+        }
     }
 }
 
-void
+/**
+ * Fast-path issue of @p req to @p l1. On a hit the L1 has already
+ * performed its side effects at the issue tick (exactly as the slow
+ * path's synchronous tryStart does); what remains is the hit-latency
+ * delay before the core-side completion, which the slow path models
+ * with the L1's pooled RespondEvent:
+ *
+ *  - Inline: when no event anywhere fires at or before the completion
+ *    tick, nothing can observe the interval, so the clock advances
+ *    directly and the completion runs with zero events scheduled.
+ *    The drain behind a fast store is committed first so it files
+ *    ahead of anything the (inline) continuation schedules — the
+ *    slow path's respond-before-drain seq order.
+ *  - Evented: otherwise the core schedules its own _fastRspEvent at
+ *    the same delay and from the same program point where the slow
+ *    path would schedule the RespondEvent, replacing it 1:1 in the
+ *    (tick, seq) order; the drain is committed after, again matching
+ *    respond-before-drain.
+ *
+ * Stream pulls never move: a pull happens either in a scheduled event
+ * or inline at an advanced tick that equals the slow path's respond
+ * tick, so workloads that read curTick() or share cross-CPU state at
+ * pull time (OLTP's log lock) see identical sequences.
+ */
+Core::FastIssue
+Core::tryFastAccess(L1Cache &l1, const MemReq &req, MemRsp &rsp)
+{
+#if !PIRANHA_L1_FASTPATH
+    (void)l1;
+    (void)req;
+    (void)rsp;
+    return FastIssue::NotTaken;
+#else
+    if (!_fastEnabled || !l1.accessFast(req, rsp))
+        return FastIssue::NotTaken;
+    EventQueue &eq = eventQueue();
+    Tick delay = _clk.cycles(l1.hitLatencyCycles());
+    Tick when = curTick() + delay;
+    if (eq.quietThrough(when)) {
+        ++inlineHits;
+        l1.commitFastDrain();
+        eq.advanceTo(when);
+        return FastIssue::Inline;
+    }
+    ++eventedHits;
+    _fastRsp = rsp;
+    scheduleIn(_fastRspEvent, delay);
+    l1.commitFastDrain();
+    return FastIssue::Evented;
+#endif
+}
+
+bool
 Core::fetchThenExecute(StreamOp op)
 {
     Addr line = lineAlign(op.pc);
-    if (line == _lastFetchLine) {
-        execute(op);
-        return;
-    }
+    if (line == _lastFetchLine)
+        return execute(op);
     _lastFetchLine = line;
     ++statIfetches;
     MemReq req;
     req.op = MemOp::Ifetch;
     req.addr = op.pc;
     req.size = static_cast<std::uint8_t>(_p.ifetchBytes);
+    Tick issued = curTick();
+    MemRsp rsp;
+    switch (tryFastAccess(_il1, req, rsp)) {
+      case FastIssue::Inline:
+        completeMem(op, issued, true, rsp);
+        return execute(op);
+      case FastIssue::Evented:
+        _pendingOp = op;
+        _pendingIssued = issued;
+        _pendingIfetch = true;
+        return false;
+      case FastIssue::NotTaken:
+        break;
+    }
     _pendingOp = op;
-    _pendingIssued = curTick();
+    _pendingIssued = issued;
     _pendingIfetch = true;
     _il1.access(req, this);
+    return false;
 }
 
-void
+bool
 Core::execute(StreamOp op)
 {
     switch (op.kind) {
@@ -108,7 +183,7 @@ Core::execute(StreamOp op)
         statBusy += static_cast<double>(t);
         _accounted += t;
         scheduleIn(_nextOpEvent, t);
-        return;
+        return false;
       }
       case StreamOp::Kind::Load:
       case StreamOp::Kind::Store:
@@ -126,11 +201,26 @@ Core::execute(StreamOp op)
         req.op = op.kind == StreamOp::Kind::Load    ? MemOp::Load
                  : op.kind == StreamOp::Kind::Store ? MemOp::Store
                                                     : MemOp::Wh64;
+        Tick issued = curTick();
+        MemRsp rsp;
+        switch (tryFastAccess(_dl1, req, rsp)) {
+          case FastIssue::Inline:
+            completeMem(op, issued, false, rsp);
+            _stream->memCompleted(op, rsp.value);
+            return true; // continue the op loop at the advanced tick
+          case FastIssue::Evented:
+            _pendingOp = op;
+            _pendingIssued = issued;
+            _pendingIfetch = false;
+            return false;
+          case FastIssue::NotTaken:
+            break;
+        }
         _pendingOp = op;
-        _pendingIssued = curTick();
+        _pendingIssued = issued;
         _pendingIfetch = false;
         _dl1.access(req, this);
-        return;
+        return false;
       }
       default:
         panic("%s: bad op kind", name().c_str());
@@ -140,10 +230,12 @@ Core::execute(StreamOp op)
 void
 Core::memRsp(const MemRsp &rsp)
 {
+    PIR_PROF(Core);
     StreamOp op = _pendingOp;
     if (_pendingIfetch) {
         completeMem(op, _pendingIssued, true, rsp);
-        execute(op);
+        if (execute(op))
+            nextOp();
     } else {
         completeMem(op, _pendingIssued, false, rsp);
         _stream->memCompleted(op, rsp.value);

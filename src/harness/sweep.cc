@@ -89,6 +89,14 @@ flattenRunResult(const RunResult &r)
     return m;
 }
 
+std::map<std::string, double>
+flattenRunResultComparable(const RunResult &r)
+{
+    std::map<std::string, double> m = flattenRunResult(r);
+    m.erase("events_executed");
+    return m;
+}
+
 const JobResult *
 SweepReport::job(const std::string &label) const
 {
@@ -135,6 +143,27 @@ SweepReport::toJson(bool include_stat_tree) const
             for (const auto &[k, v] : j.stats)
                 stats.set(k, v);
             jo.set("stats", std::move(stats));
+            // Host-side instrumentation lives outside "stats" so that
+            // bit-identity comparisons over the stats map ignore it.
+            if (j.run.l1FastHits || j.run.fastEventedHits ||
+                j.run.fastInlineHits || j.run.l1RespondEvents) {
+                JsonValue fp = JsonValue::object();
+                fp.set("inline_hits",
+                       static_cast<double>(j.run.fastInlineHits));
+                fp.set("evented_hits",
+                       static_cast<double>(j.run.fastEventedHits));
+                fp.set("l1_fast_hits",
+                       static_cast<double>(j.run.l1FastHits));
+                fp.set("l1_respond_events",
+                       static_cast<double>(j.run.l1RespondEvents));
+                jo.set("fastpath", std::move(fp));
+            }
+            if (!j.run.profile.empty()) {
+                JsonValue hp = JsonValue::object();
+                for (const auto &[zone, sec] : j.run.profile)
+                    hp.set(zone, sec);
+                jo.set("host_profile", std::move(hp));
+            }
             if (include_stat_tree && !j.statTree.isNull())
                 jo.set("stat_tree", j.statTree);
         }

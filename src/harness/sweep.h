@@ -116,6 +116,16 @@ struct JobResult
 /** Flatten a RunResult into the report's named-stat map. */
 std::map<std::string, double> flattenRunResult(const RunResult &r);
 
+/**
+ * flattenRunResult minus the keys that legitimately differ between
+ * the fast and slow datapaths (events_executed: the inline fast path
+ * completes L1 hits with zero kernel events). Use this map when
+ * asserting fast-vs-slow bit-identity; every key in it must match
+ * exactly.
+ */
+std::map<std::string, double>
+flattenRunResultComparable(const RunResult &r);
+
 /** Executed sweep: job results in spec order plus execution metadata. */
 struct SweepReport
 {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/profiler.h"
+
 namespace piranha {
 
 IcsLane
@@ -30,6 +32,8 @@ IntraChipSwitch::IntraChipSwitch(EventQueue &eq, std::string name,
     for (std::size_t i = 0; i < _ports.size(); ++i) {
         _ports[i].pumpEvent.sw = this;
         _ports[i].pumpEvent.port = static_cast<int>(i);
+        _ports[i].deliverEvent.sw = this;
+        _ports[i].deliverEvent.port = static_cast<int>(i);
     }
 }
 
@@ -44,6 +48,7 @@ IntraChipSwitch::connect(int port, IcsClient *client)
 void
 IntraChipSwitch::send(IcsMsg msg)
 {
+    PIR_PROF(Ics);
     if (msg.dstPort < 0 ||
         static_cast<size_t>(msg.dstPort) >= _ports.size())
         panic("ICS send to bad port %d (%s)", msg.dstPort,
@@ -70,6 +75,7 @@ IntraChipSwitch::send(IcsMsg msg)
 void
 IntraChipSwitch::pump(int port)
 {
+    PIR_PROF(Ics);
     Port &p = _ports[static_cast<size_t>(port)];
     auto &hi = p.queue[static_cast<int>(IcsLane::High)];
     auto &lo = p.queue[static_cast<int>(IcsLane::Low)];
@@ -81,21 +87,31 @@ IntraChipSwitch::pump(int port)
     // yields per-(src,dst,lane) ordering, which the coherence
     // protocol depends on.
     auto &q = hi.empty() ? lo : hi;
-    IcsMsg msg = std::move(q.front());
-    q.pop_front();
 
     Tick now = curTick();
     Tick start = std::max(now, p.freeAt);
     Tick deliver = start + _clk.cycles(_pipeCycles);
-    p.freeAt = deliver + _clk.cycles(occupancyCycles(msg) - 1);
+    p.freeAt = deliver + _clk.cycles(occupancyCycles(q.front()) - 1);
     statQueueDelay.sample(static_cast<double>(start - now) /
                           static_cast<double>(ticksPerNs));
 
     p.deliverEvent.client = p.client;
-    p.deliverEvent.msg = std::move(msg);
-    schedule(p.deliverEvent, deliver);
-    // Pump the next message when the datapath frees up.
-    schedule(p.pumpEvent, p.freeAt);
+    p.deliverEvent.msg = std::move(q.front());
+    q.pop_front();
+    if (p.freeAt == deliver) {
+        // Header-only transfer: the next arbitration pass would land
+        // on the delivery tick with the very next sequence number, so
+        // nothing can run between delivery and pump — fold the pump
+        // into the delivery event and save a kernel event. Identical
+        // execution order, observable only in events_executed.
+        p.deliverEvent.pumpAfter = true;
+        schedule(p.deliverEvent, deliver);
+    } else {
+        p.deliverEvent.pumpAfter = false;
+        schedule(p.deliverEvent, deliver);
+        // Pump the next message when the datapath frees up.
+        schedule(p.pumpEvent, p.freeAt);
+    }
 }
 
 void

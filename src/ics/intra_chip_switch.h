@@ -24,10 +24,10 @@
 #ifndef PIRANHA_ICS_INTRA_CHIP_SWITCH_H
 #define PIRANHA_ICS_INTRA_CHIP_SWITCH_H
 
-#include <deque>
 #include <vector>
 
 #include "mem/coherence_types.h"
+#include "sim/ring_buffer.h"
 #include "sim/sim_object.h"
 #include "stats/stats.h"
 
@@ -100,24 +100,34 @@ class IntraChipSwitch : public SimObject
         int port = -1;
     };
 
-    /** Completes one transfer at its destination client. */
+    /** Completes one transfer at its destination client; for
+     *  header-only transfers it also runs the next arbitration pass
+     *  inline (see pump()). */
     struct DeliverEvent final : public Event
     {
         void
         process() override
         {
-            IcsMsg m = std::move(msg);
-            client->icsDeliver(m);
+            // `msg` is delivered in place: the port's pump loop is
+            // active for as long as a delivery is in flight, so a
+            // send() re-entered from icsDeliver() only enqueues (it
+            // cannot reach pump() and overwrite `msg` under us).
+            client->icsDeliver(msg);
+            if (pumpAfter)
+                sw->pump(port);
         }
         const char *eventName() const override { return "ics.deliver"; }
+        IntraChipSwitch *sw = nullptr;
         IcsClient *client = nullptr;
         IcsMsg msg;
+        int port = -1;
+        bool pumpAfter = false;
     };
 
     struct Port
     {
         IcsClient *client = nullptr;
-        std::deque<IcsMsg> queue[2]; //!< per-lane FIFOs
+        RingBuffer<IcsMsg> queue[2]; //!< per-lane FIFOs
         Tick freeAt = 0;             //!< datapath busy-until
         bool pumping = false;
         // One pump and one delivery can be in flight per port: the

@@ -1,5 +1,7 @@
 #include "mem/mem_ctrl.h"
 
+#include "sim/profiler.h"
+
 namespace piranha {
 
 MemCtrl::MemCtrl(EventQueue &eq, std::string name, BackingStore &store,
@@ -26,8 +28,7 @@ MemCtrl::readLine(Addr addr, MemReadFn done)
 {
     ++statReads;
     _queue.push_back(Op{lineAlign(addr), true, std::move(done)});
-    if (!_busy)
-        pump();
+    maybePump();
 }
 
 void
@@ -42,18 +43,33 @@ MemCtrl::writeLine(Addr addr, const LineData *data,
     if (dir_bits)
         l.dirBits = *dir_bits;
     _queue.push_back(Op{lineAlign(addr), false, nullptr});
-    if (!_busy)
+    maybePump();
+}
+
+void
+MemCtrl::maybePump()
+{
+    // Start the channel now if it is idle, or make sure a pump is
+    // scheduled for when it frees up. Unlike an unconditional
+    // reschedule at +occupancy, this never fires a pump onto an empty
+    // queue: bursts end without a trailing no-op event.
+    if (_pumpPending)
+        return;
+    if (curTick() >= _freeAt) {
         pump();
+    } else {
+        _pumpPending = true;
+        schedule(_pumpEvent, _freeAt);
+    }
 }
 
 void
 MemCtrl::pump()
 {
-    if (_queue.empty()) {
-        _busy = false;
+    PIR_PROF(Mem);
+    _pumpPending = false;
+    if (_queue.empty())
         return;
-    }
-    _busy = true;
     Op op = std::move(_queue.front());
     _queue.pop_front();
 
@@ -70,12 +86,17 @@ MemCtrl::pump()
         ev->snapshot = _store.line(op.addr);
         schedule(*ev, done_at);
     }
-    scheduleIn(_pumpEvent, occupancy);
+    _freeAt = now + occupancy;
+    if (!_queue.empty()) {
+        _pumpPending = true;
+        scheduleIn(_pumpEvent, occupancy);
+    }
 }
 
 void
 MemCtrl::ReadDoneEvent::process()
 {
+    PIR_PROF(Mem);
     // Recycle before invoking: the completion may enqueue further
     // reads, which may claim this event for their own completions.
     MemReadFn fn = std::move(done);

@@ -16,19 +16,66 @@
 #ifndef PIRANHA_MEM_MEM_CTRL_H
 #define PIRANHA_MEM_MEM_CTRL_H
 
-#include <deque>
-#include <functional>
+#include <cstddef>
+#include <new>
+#include <type_traits>
 
 #include "mem/backing_store.h"
 #include "mem/rdram.h"
+#include "sim/ring_buffer.h"
 #include "sim/sim_object.h"
 #include "stats/stats.h"
 
 namespace piranha {
 
-/** Completion callback for a line read: data plus directory bits. */
-using MemReadFn =
-    std::function<void(const LineData &, std::uint64_t dir_bits)>;
+/**
+ * Completion callback for a line read: data plus directory bits.
+ *
+ * A fixed-capacity, trivially-copyable callable rather than a
+ * std::function: one completion is queued per line read on the miss
+ * path, and std::function pays a manager call on every move through
+ * the request queue and the completion event. Captures must be
+ * trivially copyable and fit in kCaptureBytes (the L2 callbacks
+ * capture {this, addr}).
+ */
+class MemReadFn
+{
+  public:
+    MemReadFn() = default;
+    MemReadFn(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, MemReadFn>>>
+    MemReadFn(F f)
+    {
+        static_assert(sizeof(F) <= kCaptureBytes,
+                      "capture too large for MemReadFn");
+        static_assert(std::is_trivially_copyable_v<F>,
+                      "MemReadFn captures must be trivially copyable");
+        new (_capture) F(f);
+        _invoke = [](const void *c, const LineData &d,
+                     std::uint64_t dir) {
+            (*static_cast<const F *>(c))(d, dir);
+        };
+    }
+
+    explicit operator bool() const { return _invoke != nullptr; }
+
+    void
+    operator()(const LineData &d, std::uint64_t dir_bits) const
+    {
+        _invoke(_capture, d, dir_bits);
+    }
+
+  private:
+    static constexpr std::size_t kCaptureBytes = 32;
+    using Invoke = void (*)(const void *, const LineData &,
+                            std::uint64_t);
+
+    alignas(void *) unsigned char _capture[kCaptureBytes] = {};
+    Invoke _invoke = nullptr;
+};
 
 /** The per-bank memory controller. */
 class MemCtrl : public SimObject
@@ -73,12 +120,14 @@ class MemCtrl : public SimObject
         BackingStore::Line snapshot;
     };
 
+    void maybePump();
     void pump();
 
     BackingStore &_store;
     RdramChannel _chan;
-    std::deque<Op> _queue;
-    bool _busy = false;
+    RingBuffer<Op> _queue;
+    Tick _freeAt = 0;          //!< channel busy until this tick
+    bool _pumpPending = false; //!< a pump event is scheduled
     MemberEvent<MemCtrl, &MemCtrl::pump> _pumpEvent{this, "mc.pump"};
     EventPool<ReadDoneEvent> _readDoneEvents;
     StatGroup _stats;

@@ -15,8 +15,9 @@
 #ifndef PIRANHA_MEM_RDRAM_H
 #define PIRANHA_MEM_RDRAM_H
 
-#include <unordered_map>
+#include <vector>
 
+#include "sim/line_table.h"
 #include "sim/types.h"
 #include "stats/stats.h"
 
@@ -56,17 +57,24 @@ class RdramChannel
     access(Addr addr, Tick now)
     {
         Addr page = addr >> (_p.pageShift + _p.channelInterleaveLog2);
-        auto it = _open.find(page);
-        bool hit = it != _open.end() &&
-                   now - it->second <= nsToTicks(_p.keepOpenNs);
+        std::uint32_t *slot = _idx.find(page);
+        bool hit =
+            slot && now - _pages[*slot].last <= nsToTicks(_p.keepOpenNs);
         if (hit) {
             ++statPageHits;
-            it->second = now;
+            _pages[*slot].last = now;
+            moveToFront(*slot);
         } else {
             ++statPageMisses;
-            if (_open.size() >= _p.maxOpenPages)
-                evictStalest(now);
-            _open[page] = now;
+            if (slot) {
+                // A stale entry for this very page: reopen in place.
+                _pages[*slot].last = now;
+                moveToFront(*slot);
+            } else {
+                if (_idx.size() >= _p.maxOpenPages)
+                    evictLru();
+                openPage(page, now);
+            }
         }
         return nsToTicks(hit ? _p.openPageNs : _p.randomAccessNs);
     }
@@ -83,23 +91,92 @@ class RdramChannel
     Scalar statPageMisses;
 
   private:
-    void
-    evictStalest(Tick now)
+    // Open pages live in a slot arena threaded onto an intrusive LRU
+    // list. Because every access stamps `last = now` and moves its
+    // page to the front, the list is ordered by last-access time, so
+    // the tail is always the stalest page and capacity eviction is
+    // O(1). Stale entries may linger until they reach the tail; they
+    // can never produce a wrong hit (the keep-open window check) and
+    // they are evicted ahead of any in-window page, so the hit/miss
+    // stream is identical to eager purging.
+    struct OpenPage
     {
-        // Close pages that fell out of the keep-open window; if none
-        // did, drop an arbitrary page (row buffer conflict).
-        for (auto it = _open.begin(); it != _open.end();) {
-            if (now - it->second > nsToTicks(_p.keepOpenNs))
-                it = _open.erase(it);
-            else
-                ++it;
+        Addr page = 0;
+        Tick last = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    static constexpr std::uint32_t kNil = ~std::uint32_t(0);
+
+    void
+    unlink(std::uint32_t s)
+    {
+        OpenPage &p = _pages[s];
+        if (p.prev != kNil)
+            _pages[p.prev].next = p.next;
+        else
+            _head = p.next;
+        if (p.next != kNil)
+            _pages[p.next].prev = p.prev;
+        else
+            _tail = p.prev;
+    }
+
+    void
+    pushFront(std::uint32_t s)
+    {
+        OpenPage &p = _pages[s];
+        p.prev = kNil;
+        p.next = _head;
+        if (_head != kNil)
+            _pages[_head].prev = s;
+        else
+            _tail = s;
+        _head = s;
+    }
+
+    void
+    moveToFront(std::uint32_t s)
+    {
+        if (_head == s)
+            return;
+        unlink(s);
+        pushFront(s);
+    }
+
+    void
+    openPage(Addr page, Tick now)
+    {
+        std::uint32_t s;
+        if (!_freeSlots.empty()) {
+            s = _freeSlots.back();
+            _freeSlots.pop_back();
+        } else {
+            s = static_cast<std::uint32_t>(_pages.size());
+            _pages.emplace_back();
         }
-        if (_open.size() >= _p.maxOpenPages)
-            _open.erase(_open.begin());
+        _pages[s].page = page;
+        _pages[s].last = now;
+        _idx[page] = s;
+        pushFront(s);
+    }
+
+    void
+    evictLru()
+    {
+        std::uint32_t s = _tail;
+        unlink(s);
+        _idx.erase(_pages[s].page);
+        _freeSlots.push_back(s);
     }
 
     RdramParams _p;
-    std::unordered_map<Addr, Tick> _open;
+    LineTable<std::uint32_t> _idx; //!< page -> slot in _pages
+    std::vector<OpenPage> _pages;
+    std::vector<std::uint32_t> _freeSlots;
+    std::uint32_t _head = kNil;
+    std::uint32_t _tail = kNil;
 };
 
 } // namespace piranha

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "check/trace.h"
+#include "sim/profiler.h"
 #include "system/chip_ports.h"
 
 namespace piranha {
@@ -57,9 +58,10 @@ ProtocolEngine::debugDump(std::ostream &os) const
            << " origLocalOp=" << static_cast<int>(t.origLocal.peOp)
            << "\n";
     }
-    for (const auto &[line, q] : _lineQueue)
+    _lineQueue.forEach([&](Addr line, const RingBuffer<QMsg> &q) {
         os << "  " << name() << " lineQueue " << std::hex << line
            << std::dec << " depth=" << q.size() << "\n";
+    });
     if (!_globalQueue.empty())
         os << "  " << name() << " globalQueue depth="
            << _globalQueue.size() << "\n";
@@ -86,13 +88,14 @@ ProtocolEngine::freeEntry()
 TsrfEntry *
 ProtocolEngine::activeFor(Addr addr)
 {
-    auto it = _active.find(lineNum(addr));
-    return it == _active.end() ? nullptr : &_tsrf[it->second];
+    const std::size_t *idx = _active.find(lineNum(addr));
+    return idx ? &_tsrf[*idx] : nullptr;
 }
 
 void
 ProtocolEngine::deliverNet(const NetPacket &pkt)
 {
+    PIR_PROF(Engine);
     if (pkt.type == NetMsgType::Inval) {
         // Invalidations are processed immediately, never serialized
         // behind the line's active transaction: an invalidation
@@ -135,6 +138,7 @@ ProtocolEngine::deliverNet(const NetPacket &pkt)
 void
 ProtocolEngine::icsDeliver(const IcsMsg &msg)
 {
+    PIR_PROF(Engine);
     switch (msg.type) {
       case IcsMsgType::ToHomeEngine:
       case IcsMsgType::ToRemoteEngine: {
@@ -249,19 +253,19 @@ ProtocolEngine::retire(TsrfEntry &t)
     std::size_t idx = static_cast<std::size_t>(&t - _tsrf.data());
     t.valid = false;
     t.wait = TsrfEntry::Wait::None;
-    auto ait = _active.find(line);
-    bool was_primary = ait != _active.end() && ait->second == idx;
+    const std::size_t *aidx = _active.find(line);
+    bool was_primary = aidx && *aidx == idx;
     if (was_primary)
-        _active.erase(ait);
+        _active.erase(line);
 
     // Per-line queue: the next transaction for this line starts once
     // its primary slot frees up.
-    auto qit = _lineQueue.find(line);
-    if (was_primary && qit != _lineQueue.end() && !qit->second.empty()) {
-        QMsg next = std::move(qit->second.front());
-        qit->second.pop_front();
-        if (qit->second.empty())
-            _lineQueue.erase(qit);
+    RingBuffer<QMsg> *lq = _lineQueue.find(line);
+    if (was_primary && lq && !lq->empty()) {
+        QMsg next = std::move(lq->front());
+        lq->pop_front();
+        if (lq->empty())
+            _lineQueue.erase(line);
         if (next.isNet && netIsReplyClass(next.net.type))
             panic("%s: queued reply %s orphaned at retire",
                   name().c_str(), netMsgTypeName(next.net.type));
@@ -273,7 +277,7 @@ ProtocolEngine::retire(TsrfEntry &t)
         _globalQueue.pop_front();
         Addr nline = lineNum(next.isNet ? next.net.addr
                                         : next.local.addr);
-        if (_active.count(nline)) {
+        if (_active.contains(nline)) {
             _lineQueue[nline].push_back(std::move(next));
             continue;
         }
@@ -285,27 +289,28 @@ ProtocolEngine::retire(TsrfEntry &t)
 bool
 ProtocolEngine::tryConsumeQueued(TsrfEntry &t, bool net_side)
 {
-    auto qit = _lineQueue.find(lineNum(t.addr));
-    if (qit == _lineQueue.end())
+    Addr line = lineNum(t.addr);
+    RingBuffer<QMsg> *q = _lineQueue.find(line);
+    if (!q)
         return false;
-    auto &q = qit->second;
-    for (auto it = q.begin(); it != q.end(); ++it) {
-        if (it->isNet != net_side)
+    for (std::size_t i = 0; i < q->size(); ++i) {
+        QMsg &m = (*q)[i];
+        if (m.isNet != net_side)
             continue;
-        unsigned cc = it->isNet
-                          ? static_cast<unsigned>(it->net.type)
-                          : (it->local.type == IcsMsgType::PeReadLocalRsp
+        unsigned cc = m.isNet
+                          ? static_cast<unsigned>(m.net.type)
+                          : (m.local.type == IcsMsgType::PeReadLocalRsp
                                  ? ccLocalReadRsp
                                  : ccLocalDone);
         if (!((t.waitMask >> cc) & 1))
             continue;
-        if (it->isNet)
-            t.msg = it->net;
+        if (m.isNet)
+            t.msg = m.net;
         else
-            t.local = it->local;
-        q.erase(it);
-        if (q.empty())
-            _lineQueue.erase(qit);
+            t.local = m.local;
+        q->erase(i);
+        if (q->empty())
+            _lineQueue.erase(line);
         const MicroInstr &instr = _prog.mem[t.pc];
         t.pc = static_cast<std::uint16_t>(instr.next + cc);
         return true;
@@ -339,6 +344,7 @@ ProtocolEngine::wake()
 void
 ProtocolEngine::step()
 {
+    PIR_PROF(Engine);
     _stepScheduled = false;
     // Pick the next ready thread, round-robin (the hardware's
     // even/odd interleaved fetch achieves the same one-instruction-

@@ -24,14 +24,14 @@
 #ifndef PIRANHA_PROTO_PROTOCOL_ENGINE_H
 #define PIRANHA_PROTO_PROTOCOL_ENGINE_H
 
-#include <deque>
 #include <functional>
-#include <unordered_map>
 
 #include "ics/intra_chip_switch.h"
 #include "mem/mem_ctrl.h"
 #include "proto/microcode.h"
 #include "proto/tsrf.h"
+#include "sim/line_table.h"
+#include "sim/ring_buffer.h"
 #include "sim/sim_object.h"
 #include "stats/stats.h"
 #include "system/address_map.h"
@@ -106,7 +106,9 @@ class ProtocolEngine : public SimObject, public IcsClient
     CoherenceTracer *tracer() const { return _cfg.tracer; }
     FaultState *faults() const { return _cfg.faults; }
 
-    /** Write-back buffer: data held until the home acknowledges. */
+    /** Write-back buffer: data held until the home acknowledges.
+     *  Keyed by line number; do not hold a WbBuf reference across an
+     *  insert for another line (open-addressed table may rehash). */
     struct WbBuf
     {
         LineData data;
@@ -114,7 +116,7 @@ class ProtocolEngine : public SimObject, public IcsClient
         bool fwdServiced = false;
         bool releaseAfterFwd = false;
     };
-    std::unordered_map<Addr, WbBuf> wbBuffer;
+    LineTable<WbBuf> wbBuffer;
 
     void regStats(StatGroup &parent);
 
@@ -128,7 +130,7 @@ class ProtocolEngine : public SimObject, public IcsClient
     bool
     hasActiveTransaction(Addr addr) const
     {
-        return _active.count(lineNum(addr)) != 0;
+        return _active.contains(lineNum(addr));
     }
 
     /** Test support. */
@@ -183,9 +185,9 @@ class ProtocolEngine : public SimObject, public IcsClient
     std::map<PeOp, std::uint16_t> _localEntries;
 
     std::vector<TsrfEntry> _tsrf;
-    std::unordered_map<Addr, std::size_t> _active; //!< line -> thread
-    std::unordered_map<Addr, std::deque<QMsg>> _lineQueue;
-    std::deque<QMsg> _globalQueue;
+    LineTable<std::size_t> _active; //!< line -> thread
+    LineTable<RingBuffer<QMsg>> _lineQueue;
+    RingBuffer<QMsg> _globalQueue;
     bool _stepScheduled = false;
     std::size_t _rrNext = 0;
     EventPool<StepEvent> _stepEvents;

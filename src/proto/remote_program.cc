@@ -128,7 +128,7 @@ installRemoteProgram(ProtocolEngine &pe)
     a.label("rFwdS");
     a.test(
         [&pe](TsrfEntry &t) {
-            return pe.wbBuffer.count(lineNum(t.addr)) ? 1u : 0u;
+            return pe.wbBuffer.contains(lineNum(t.addr)) ? 1u : 0u;
         },
         {{0, "rFS_chip"}, {1, "rFS_buf"}});
     a.label("rFS_chip");
@@ -147,14 +147,14 @@ installRemoteProgram(ProtocolEngine &pe)
     a.jump("rFS_send");
     a.label("rFS_buf");
     a.op(MicroOp::SET, [&pe](TsrfEntry &t) {
-        auto it = pe.wbBuffer.find(lineNum(t.addr));
-        if (it == pe.wbBuffer.end())
+        ProtocolEngine::WbBuf *buf = pe.wbBuffer.find(lineNum(t.addr));
+        if (!buf)
             panic("remote engine: forwarded read, no copy anywhere");
-        t.data = it->second.data;
-        if (it->second.releaseAfterFwd)
-            pe.wbBuffer.erase(it);
+        t.data = buf->data;
+        if (buf->releaseAfterFwd)
+            pe.wbBuffer.erase(lineNum(t.addr));
         else
-            it->second.fwdServiced = true;
+            buf->fwdServiced = true;
     });
     a.label("rFS_send");
     a.op(MicroOp::SEND, [&pe](TsrfEntry &t) {
@@ -185,7 +185,7 @@ installRemoteProgram(ProtocolEngine &pe)
     a.label("rFwdX");
     a.test(
         [&pe](TsrfEntry &t) {
-            return pe.wbBuffer.count(lineNum(t.addr)) ? 1u : 0u;
+            return pe.wbBuffer.contains(lineNum(t.addr)) ? 1u : 0u;
         },
         {{0, "rFX_chip"}, {1, "rFX_buf"}});
     a.label("rFX_chip");
@@ -202,14 +202,14 @@ installRemoteProgram(ProtocolEngine &pe)
     a.jump("rFX_send");
     a.label("rFX_buf");
     a.op(MicroOp::SET, [&pe](TsrfEntry &t) {
-        auto it = pe.wbBuffer.find(lineNum(t.addr));
-        if (it == pe.wbBuffer.end())
+        ProtocolEngine::WbBuf *buf = pe.wbBuffer.find(lineNum(t.addr));
+        if (!buf)
             panic("remote engine: forwarded excl, no copy anywhere");
-        t.data = it->second.data;
-        if (it->second.releaseAfterFwd)
-            pe.wbBuffer.erase(it);
+        t.data = buf->data;
+        if (buf->releaseAfterFwd)
+            pe.wbBuffer.erase(lineNum(t.addr));
         else
-            it->second.fwdServiced = true;
+            buf->fwdServiced = true;
     });
     a.label("rFX_send");
     a.op(MicroOp::SEND, [&pe](TsrfEntry &t) {

@@ -193,6 +193,37 @@ class EventQueue
     std::uint64_t executed() const { return _executed; }
 
     /**
+     * True when no pending event fires at or before @p t — i.e. the
+     * interval (curTick, t] is free of scheduled work. Used by the
+     * zero-event L1-hit fast path to prove that completing an access
+     * inline (and advancing the clock) cannot reorder against any
+     * other component's events.
+     */
+    bool
+    quietThrough(Tick t)
+    {
+        if (_numPending == 0)
+            return true;
+        Event *n = peekNext();
+        return !n || n->_when > t;
+    }
+
+    /**
+     * Advance curTick to @p t without executing anything. Only legal
+     * when every pending event fires at or after @p t (events AT @p t
+     * must be ones the caller scheduled after checking quietThrough
+     * and that logically follow its inline work, e.g. a store-buffer
+     * drain behind an inline-completed store). The wheel needs no
+     * cursor fix-up: wheelFront derives its scan origin from curTick.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        if (t > _curTick)
+            _curTick = t;
+    }
+
+    /**
      * Process-wide default for new queues: timing wheel + heap
      * (true, the default) or heap-only. Heap-only exists so
      * benchmarks can measure the wheel's contribution on one binary;

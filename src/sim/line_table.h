@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Open-addressed hash tables keyed by cache-line number.
+ *
+ * The L2 banks and protocol engines keep per-line transient state
+ * (duplicate-tag Info, TSRF indices, blocked-request queues,
+ * write-back buffers) in std::unordered_map<Addr, V>. Those maps sit
+ * on the per-message hot path, and the node-based unordered_map pays
+ * an allocation plus two dependent loads per touch. LineTable is a
+ * linear-probe open-addressed table with inline slots: one hash, one
+ * (usually) cache-line probe, no allocation in steady state. Erasure
+ * uses backward-shift deletion, so there are no tombstones and lookup
+ * cost stays bounded by cluster length.
+ *
+ * Two variants:
+ *  - LineTable<V>: values live inline in the slot array. References
+ *    are invalidated by rehash (any insert) — callers must not hold a
+ *    value reference across an insert, same discipline unordered_map
+ *    required across erase.
+ *  - StableLineTable<V>: the slot array holds indices into a
+ *    chunked slab (std::deque), so value pointers are stable across
+ *    insert/erase for the value's whole lifetime. Used where the
+ *    protocol code naturally holds an Info& across calls that may
+ *    create state for other lines.
+ *
+ * Keys are line numbers (addr >> 6); any 64-bit key works. Occupancy
+ * is tracked by a per-slot flag, so key 0 is a valid key.
+ */
+
+#ifndef PIRANHA_SIM_LINE_TABLE_H
+#define PIRANHA_SIM_LINE_TABLE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace piranha {
+
+namespace line_table_detail {
+
+/** Fibonacci multiplicative hash: line numbers are near-sequential,
+ *  so we need the high bits mixed before masking. */
+inline std::size_t
+mixHash(Addr k)
+{
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(k) * 0x9E3779B97F4A7C15ull) >> 16);
+}
+
+} // namespace line_table_detail
+
+/** Open-addressed map with inline values (see file comment). */
+template <typename V>
+class LineTable
+{
+  public:
+    LineTable() = default;
+
+    bool empty() const { return _size == 0; }
+    std::size_t size() const { return _size; }
+
+    V *
+    find(Addr key)
+    {
+        if (_size == 0)
+            return nullptr;
+        std::size_t i = probe(key);
+        return _keys[i].used ? &_values[i] : nullptr;
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        return const_cast<LineTable *>(this)->find(key);
+    }
+
+    bool contains(Addr key) const { return find(key) != nullptr; }
+
+    /** Find-or-insert-default, like unordered_map::operator[]. */
+    V &
+    operator[](Addr key)
+    {
+        maybeGrow();
+        std::size_t i = probe(key);
+        KeySlot &s = _keys[i];
+        if (!s.used) {
+            s.used = true;
+            s.key = key;
+            _values[i] = V{};
+            ++_size;
+        }
+        return _values[i];
+    }
+
+    /** Erase if present; returns true when an entry was removed. */
+    bool
+    erase(Addr key)
+    {
+        if (_size == 0)
+            return false;
+        std::size_t i = probe(key);
+        if (!_keys[i].used)
+            return false;
+        eraseSlot(i);
+        --_size;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (KeySlot &s : _keys)
+            s = KeySlot{};
+        for (V &v : _values)
+            v = V{};
+        _size = 0;
+    }
+
+    /** Visit every (key, value&) in unspecified order. */
+    template <typename F>
+    void
+    forEach(F &&f)
+    {
+        for (std::size_t i = 0; i < _keys.size(); ++i)
+            if (_keys[i].used)
+                f(_keys[i].key, _values[i]);
+    }
+
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::size_t i = 0; i < _keys.size(); ++i)
+            if (_keys[i].used)
+                f(_keys[i].key, _values[i]);
+    }
+
+  private:
+    /** Keys live apart from values so probes stride over a dense
+     *  16-byte array that stays cache-resident even when the value
+     *  array (e.g. 72-byte backing-store lines) far outgrows LLC. */
+    struct KeySlot
+    {
+        Addr key = 0;
+        bool used = false;
+    };
+
+    static constexpr std::size_t kMinCap = 16;
+
+    /** Index of @p key's slot if present, else of the empty slot
+     *  where it would be inserted. Requires capacity > size. */
+    std::size_t
+    probe(Addr key) const
+    {
+        std::size_t i = line_table_detail::mixHash(key) & _mask;
+        while (_keys[i].used && _keys[i].key != key)
+            i = (i + 1) & _mask;
+        return i;
+    }
+
+    void
+    maybeGrow()
+    {
+        if (_keys.empty()) {
+            _keys.resize(kMinCap);
+            _values.resize(kMinCap);
+            _mask = kMinCap - 1;
+            return;
+        }
+        // Rehash at 70% occupancy to bound cluster length.
+        if ((_size + 1) * 10 < _keys.size() * 7)
+            return;
+        std::vector<KeySlot> old_keys = std::move(_keys);
+        std::vector<V> old_values = std::move(_values);
+        _keys.assign(old_keys.size() * 2, KeySlot{});
+        _values.clear();
+        _values.resize(old_keys.size() * 2);
+        _mask = _keys.size() - 1;
+        for (std::size_t j = 0; j < old_keys.size(); ++j) {
+            if (!old_keys[j].used)
+                continue;
+            std::size_t i = probe(old_keys[j].key);
+            _keys[i] = old_keys[j];
+            _values[i] = std::move(old_values[j]);
+        }
+    }
+
+    /** Backward-shift deletion keeping probe chains intact. */
+    void
+    eraseSlot(std::size_t i)
+    {
+        std::size_t cap = _keys.size();
+        std::size_t j = i;
+        for (;;) {
+            _keys[i].used = false;
+            _values[i] = V{};
+            for (;;) {
+                j = (j + 1) & _mask;
+                if (!_keys[j].used)
+                    return;
+                std::size_t ideal =
+                    line_table_detail::mixHash(_keys[j].key) & _mask;
+                // Move j back into the hole when its probe distance
+                // reaches past the hole.
+                if (((j - ideal) & (cap - 1)) >= ((j - i) & (cap - 1))) {
+                    _keys[i] = _keys[j];
+                    _values[i] = std::move(_values[j]);
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<KeySlot> _keys;
+    std::vector<V> _values;
+    std::size_t _mask = 0;
+    std::size_t _size = 0;
+};
+
+/**
+ * Open-addressed index over a pointer-stable slab (see file comment).
+ * find/operator[] return pointers/references that stay valid until
+ * that key is erased, regardless of other inserts.
+ */
+template <typename V>
+class StableLineTable
+{
+  public:
+    bool empty() const { return _index.empty(); }
+    std::size_t size() const { return _index.size(); }
+
+    V *
+    find(Addr key)
+    {
+        std::uint32_t *idx = _index.find(key);
+        return idx ? &_slab[*idx] : nullptr;
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        return const_cast<StableLineTable *>(this)->find(key);
+    }
+
+    bool contains(Addr key) const { return _index.contains(key); }
+
+    V &
+    operator[](Addr key)
+    {
+        if (std::uint32_t *idx = _index.find(key))
+            return _slab[*idx];
+        std::uint32_t slot;
+        if (!_free.empty()) {
+            slot = _free.back();
+            _free.pop_back();
+            _slab[slot] = V{};
+        } else {
+            slot = static_cast<std::uint32_t>(_slab.size());
+            _slab.grow();
+        }
+        _index[key] = slot;
+        return _slab[slot];
+    }
+
+    bool
+    erase(Addr key)
+    {
+        std::uint32_t *idx = _index.find(key);
+        if (!idx)
+            return false;
+        std::uint32_t slot = *idx;
+        _index.erase(key);
+        _slab[slot] = V{};
+        _free.push_back(slot);
+        return true;
+    }
+
+    template <typename F>
+    void
+    forEach(F &&f)
+    {
+        _index.forEach(
+            [&](Addr key, std::uint32_t slot) { f(key, _slab[slot]); });
+    }
+
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        _index.forEach([&](Addr key, const std::uint32_t &slot) {
+            f(key, _slab[slot]);
+        });
+    }
+
+  private:
+    /** Fixed-chunk arena: element addresses are stable, and values
+     *  allocated close in time share chunks (std::deque degenerates to
+     *  one element per chunk once V outgrows its 512-byte blocks). */
+    class Slab
+    {
+      public:
+        V &
+        operator[](std::size_t i)
+        {
+            return _chunks[i >> kChunkShift][i & (kChunkSize - 1)];
+        }
+
+        const V &
+        operator[](std::size_t i) const
+        {
+            return _chunks[i >> kChunkShift][i & (kChunkSize - 1)];
+        }
+
+        std::size_t size() const { return _size; }
+
+        void
+        grow()
+        {
+            if (_size == _chunks.size() * kChunkSize)
+                _chunks.push_back(std::make_unique<V[]>(kChunkSize));
+            ++_size;
+        }
+
+      private:
+        static constexpr std::size_t kChunkShift = 4;
+        static constexpr std::size_t kChunkSize = 1u << kChunkShift;
+
+        std::vector<std::unique_ptr<V[]>> _chunks;
+        std::size_t _size = 0;
+    };
+
+    LineTable<std::uint32_t> _index;
+    Slab _slab;
+    std::vector<std::uint32_t> _free;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_SIM_LINE_TABLE_H

@@ -1,0 +1,77 @@
+#include "sim/profiler.h"
+
+namespace piranha {
+namespace prof {
+
+const char *
+zoneName(Zone z)
+{
+    switch (z) {
+      case Zone::Kernel: return "kernel";
+      case Zone::Core: return "core";
+      case Zone::L1: return "l1";
+      case Zone::L2: return "l2";
+      case Zone::Ics: return "ics";
+      case Zone::Engine: return "engine";
+      case Zone::Mem: return "mem";
+      case Zone::Other: return "other";
+      case Zone::Count: break;
+    }
+    return "?";
+}
+
+#if PIRANHA_HOST_PROFILE
+
+namespace detail {
+
+State &
+state()
+{
+    thread_local State s;
+    return s;
+}
+
+} // namespace detail
+
+void
+reset()
+{
+    detail::State &s = detail::state();
+    for (double &a : s.acc)
+        a = 0;
+    s.cur = Zone::Other;
+    s.last = std::chrono::steady_clock::now();
+}
+
+std::map<std::string, double>
+snapshot()
+{
+    detail::State &s = detail::state();
+    auto now = std::chrono::steady_clock::now();
+    s.acc[static_cast<unsigned>(s.cur)] +=
+        std::chrono::duration<double>(now - s.last).count();
+    s.last = now;
+    std::map<std::string, double> out;
+    for (unsigned z = 0; z < static_cast<unsigned>(Zone::Count); ++z)
+        if (s.acc[z] > 0)
+            out[zoneName(static_cast<Zone>(z))] = s.acc[z];
+    return out;
+}
+
+#else
+
+void
+reset()
+{
+}
+
+std::map<std::string, double>
+snapshot()
+{
+    return {};
+}
+
+#endif // PIRANHA_HOST_PROFILE
+
+} // namespace prof
+} // namespace piranha

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Growable power-of-two ring buffer for hot simulator queues.
+ *
+ * The memory system's queues (store buffers, CPU-side pending queues,
+ * blocked-request queues, switch port queues, the protocol engines'
+ * overflow queue) were std::deque: correct, but each deque carries a
+ * map-of-chunks indirection and allocates its first chunk on first
+ * use — measurable on paths that push/pop every simulated cycle.
+ * RingBuffer keeps elements in one contiguous power-of-two array
+ * indexed by monotonically increasing head/tail counters (masked on
+ * access), so steady-state push/pop touches one cache line and never
+ * allocates. Growth doubles the array and re-linearizes; queues with
+ * a natural depth bound (a store buffer) can pre-reserve and never
+ * grow at all.
+ *
+ * The deque surface the simulator actually uses is preserved:
+ * push_back / push_front / pop_front / pop_back / front / back /
+ * operator[] / erase(index) / iteration oldest-to-newest. erase is
+ * O(n) by shifting, exactly like the deque mid-erase it replaces
+ * (the blocked queues erase rarely and are short).
+ */
+
+#ifndef PIRANHA_SIM_RING_BUFFER_H
+#define PIRANHA_SIM_RING_BUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace piranha {
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+    explicit RingBuffer(std::size_t capacity) { reserve(capacity); }
+
+    bool empty() const { return _head == _tail; }
+    std::size_t size() const { return _tail - _head; }
+    std::size_t capacity() const { return _buf.size(); }
+
+    /** Ensure capacity for at least @p n elements (rounds up to a
+     *  power of two; never shrinks). */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > _buf.size())
+            regrow(roundUp(n));
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size() == _buf.size())
+            regrow(_buf.size() ? _buf.size() * 2 : kMinCap);
+        _buf[_tail++ & _mask] = std::move(v);
+    }
+
+    void
+    push_front(T v)
+    {
+        if (size() == _buf.size())
+            regrow(_buf.size() ? _buf.size() * 2 : kMinCap);
+        _buf[--_head & _mask] = std::move(v);
+    }
+
+    void
+    pop_front()
+    {
+        assert(!empty());
+        _buf[_head & _mask] = T{};
+        ++_head;
+    }
+
+    void
+    pop_back()
+    {
+        assert(!empty());
+        --_tail;
+        _buf[_tail & _mask] = T{};
+    }
+
+    T &front() { assert(!empty()); return _buf[_head & _mask]; }
+    const T &front() const { assert(!empty()); return _buf[_head & _mask]; }
+    T &back() { assert(!empty()); return _buf[(_tail - 1) & _mask]; }
+    const T &back() const
+    { assert(!empty()); return _buf[(_tail - 1) & _mask]; }
+
+    T &operator[](std::size_t i)
+    { assert(i < size()); return _buf[(_head + i) & _mask]; }
+    const T &operator[](std::size_t i) const
+    { assert(i < size()); return _buf[(_head + i) & _mask]; }
+
+    /** Remove the element at logical index @p i, preserving order. */
+    void
+    erase(std::size_t i)
+    {
+        assert(i < size());
+        for (std::size_t j = i; j + 1 < size(); ++j)
+            (*this)[j] = std::move((*this)[j + 1]);
+        pop_back();
+    }
+
+    void
+    clear()
+    {
+        while (!empty())
+            pop_front();
+    }
+
+    /** Minimal forward iterator (oldest to newest). */
+    template <typename RB, typename Ref>
+    struct Iter
+    {
+        RB *rb = nullptr;
+        std::size_t i = 0;
+        Ref operator*() const { return (*rb)[i]; }
+        Iter &operator++() { ++i; return *this; }
+        bool operator!=(const Iter &o) const { return i != o.i; }
+        bool operator==(const Iter &o) const { return i == o.i; }
+    };
+    using iterator = Iter<RingBuffer, T &>;
+    using const_iterator = Iter<const RingBuffer, const T &>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, size()}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size()}; }
+
+  private:
+    static constexpr std::size_t kMinCap = 8;
+
+    static std::size_t
+    roundUp(std::size_t n)
+    {
+        std::size_t c = kMinCap;
+        while (c < n)
+            c *= 2;
+        return c;
+    }
+
+    void
+    regrow(std::size_t new_cap)
+    {
+        std::vector<T> nb(new_cap);
+        std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            nb[i] = std::move(_buf[(_head + i) & _mask]);
+        _buf = std::move(nb);
+        _mask = new_cap - 1;
+        _head = 0;
+        _tail = n;
+    }
+
+    std::vector<T> _buf;
+    std::size_t _mask = 0;
+    std::size_t _head = 0;
+    std::size_t _tail = 0;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_SIM_RING_BUFFER_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/profiler.h"
+
 namespace piranha {
 
 PiranhaSystem::PiranhaSystem(const SystemConfig &cfg) : _cfg(cfg)
@@ -71,12 +73,39 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
 
     Tick deadline = _eq.curTick() + max_time;
     std::uint64_t events_before = _eq.executed();
+    // L1s persist across run() calls, so their host-side counters are
+    // cumulative; report this run's delta.
+    std::uint64_t l1_fast_before = 0, l1_resp_before = 0;
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        for (unsigned c = 0; c < _cfg.cpusPerChip; ++c) {
+            l1_fast_before += _chips[n]->dl1(c).fastHits;
+            l1_fast_before += _chips[n]->il1(c).fastHits;
+            l1_resp_before += _chips[n]->dl1(c).respondEventsScheduled;
+            l1_resp_before += _chips[n]->il1(c).respondEventsScheduled;
+        }
+    }
+    prof::reset();
     bool aborted = false;
     std::uint64_t iter = 0;
+    // Completion check: scanning every core per event is O(ncpus) on
+    // the hottest loop in the simulator. Start each scan at the core
+    // that most recently reported not-done — it almost always still
+    // isn't, making the check O(1) amortized with the same stop point
+    // (the loop still exits on the first iteration where all cores
+    // are done).
+    std::size_t watch = 0;
     for (;;) {
+        PIR_PROF(Kernel);
         bool all_done = true;
-        for (auto &core : _cores)
-            all_done = all_done && core->done();
+        for (std::size_t i = 0; i < ncpus; ++i) {
+            std::size_t j = watch + i < ncpus ? watch + i
+                                              : watch + i - ncpus;
+            if (!_cores[j]->done()) {
+                watch = j;
+                all_done = false;
+                break;
+            }
+        }
         if (all_done)
             break;
         if (_eq.curTick() >= deadline) {
@@ -108,7 +137,20 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
         miss += _cores[i]->statL2MissStall.value();
         idle += _cores[i]->statIdle.value();
         r.instructions += _cores[i]->statInstrs.value();
+        r.fastInlineHits += _cores[i]->inlineHits;
+        r.fastEventedHits += _cores[i]->eventedHits;
     }
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        for (unsigned c = 0; c < _cfg.cpusPerChip; ++c) {
+            r.l1FastHits += _chips[n]->dl1(c).fastHits;
+            r.l1FastHits += _chips[n]->il1(c).fastHits;
+            r.l1RespondEvents += _chips[n]->dl1(c).respondEventsScheduled;
+            r.l1RespondEvents += _chips[n]->il1(c).respondEventsScheduled;
+        }
+    }
+    r.l1FastHits -= l1_fast_before;
+    r.l1RespondEvents -= l1_resp_before;
+    r.profile = prof::snapshot();
     double total = busy + hit + miss + idle;
     if (total > 0) {
         r.busyFrac = busy / total;

@@ -11,7 +11,9 @@
 #define PIRANHA_SYSTEM_SIM_SYSTEM_H
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/core.h"
@@ -44,6 +46,21 @@ struct RunResult
 
     /** Kernel events executed by this run (deterministic). */
     std::uint64_t eventsExecuted = 0;
+
+    // Fast-path instrumentation (host-side; never part of the
+    // bit-identity stat comparison — a slow-mode run reports zeros
+    // for the first three while producing identical simulation stats).
+    std::uint64_t fastInlineHits = 0;  //!< L1 hits with 0 events
+    std::uint64_t fastEventedHits = 0; //!< L1 hits via core.memDone
+    std::uint64_t l1FastHits = 0;      //!< hits taken by accessFast
+    std::uint64_t l1RespondEvents = 0; //!< slow-path respond events
+
+    /**
+     * Host-time breakdown by component zone (seconds), captured when
+     * the build has PIRANHA_PROFILE=ON; empty otherwise. Host-side
+     * measurement: excluded from identity comparisons.
+     */
+    std::map<std::string, double> profile;
 
     /** True when the run was stopped by an abort check or max_time. */
     bool aborted = false;

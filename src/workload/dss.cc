@@ -1,7 +1,6 @@
 #include "workload/dss.h"
 
-#include <deque>
-
+#include "sim/ring_buffer.h"
 #include "sim/types.h"
 
 namespace piranha {
@@ -85,7 +84,7 @@ class DssStream : public InstrStream
     Pcg32 _rng;
     std::uint64_t _rowFirst, _rowLast, _row;
     std::uint64_t _chunks = 0;
-    std::deque<StreamOp> _q;
+    RingBuffer<StreamOp> _q;
 };
 
 } // namespace

@@ -1,7 +1,6 @@
 #include "workload/oltp.h"
 
-#include <deque>
-
+#include "sim/ring_buffer.h"
 #include "sim/types.h"
 
 namespace piranha {
@@ -329,7 +328,7 @@ class OltpStream : public InstrStream
     std::uint64_t _target;
     Pcg32 _rng;
     std::vector<ServerCtx> _ctxs;
-    std::deque<StreamOp> _q;
+    RingBuffer<StreamOp> _q;
     std::uint64_t _txns = 0;
     unsigned _rr = 0;
     Addr _lastPc = kUserCode;

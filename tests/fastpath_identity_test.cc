@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Fast-vs-slow datapath bit-identity: the zero-event L1-hit fast path
+ * (Core::tryFastAccess / L1Cache::accessFast) must produce exactly
+ * the simulation the slow path produces — same execution time, same
+ * stat tree to the last bit, same coherence trace — across workloads,
+ * configurations, and seeds. The only permitted difference is the
+ * kernel event count, which must drop by exactly the number of
+ * inline (zero-event) hits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/trace.h"
+#include "core/piranha.h"
+#include "harness/sweep.h"
+#include "stats/json_writer.h"
+
+namespace piranha {
+namespace {
+
+/** Restore the process-wide fast-path default on scope exit. */
+struct FastPathGuard
+{
+    explicit FastPathGuard(bool on)
+    {
+        Core::setDefaultFastPathEnabled(on);
+    }
+    ~FastPathGuard() { Core::setDefaultFastPathEnabled(true); }
+};
+
+struct ModeResult
+{
+    RunResult run;
+    std::string statDump;
+    std::vector<TraceEvent> trace;
+};
+
+template <typename MakeWl>
+ModeResult
+runMode(bool fast, SystemConfig cfg, MakeWl make_wl,
+        std::uint64_t work_per_cpu)
+{
+    FastPathGuard guard(fast);
+    CoherenceTracer tracer;
+    cfg.chip.tracer = &tracer;
+    auto wl = make_wl();
+    PiranhaSystem sys(cfg);
+    ModeResult m;
+    m.run = sys.run(*wl, work_per_cpu);
+    m.statDump = statGroupToJson(sys.stats()).dump(0);
+    m.trace = tracer.events();
+    return m;
+}
+
+/** Skip tests that need the fast path compiled in. */
+#define REQUIRE_FASTPATH_COMPILED()                                    \
+    do {                                                               \
+        if (!PIRANHA_L1_FASTPATH)                                      \
+            GTEST_SKIP() << "built with PIRANHA_FASTPATH=OFF";         \
+    } while (0)
+
+template <typename MakeWl>
+void
+expectIdentical(SystemConfig cfg, MakeWl make_wl,
+                std::uint64_t work_per_cpu, const std::string &what)
+{
+    ModeResult slow = runMode(false, cfg, make_wl, work_per_cpu);
+    ModeResult fast = runMode(true, cfg, make_wl, work_per_cpu);
+
+    // The slow mode must not have taken the fast path, and the fast
+    // mode must actually have exercised it.
+    EXPECT_EQ(slow.run.l1FastHits, 0u) << what;
+    EXPECT_GT(fast.run.l1FastHits, 0u) << what;
+    EXPECT_EQ(fast.run.l1FastHits,
+              fast.run.fastInlineHits + fast.run.fastEventedHits)
+        << what;
+
+    // Every comparable stat bit-identical.
+    EXPECT_EQ(flattenRunResultComparable(slow.run),
+              flattenRunResultComparable(fast.run))
+        << what;
+    EXPECT_EQ(slow.statDump, fast.statDump) << what;
+
+    // Event accounting: a slow-path hit costs one respond event, an
+    // evented fast hit replaces it 1:1, an inline fast hit costs
+    // zero. The totals must balance exactly.
+    EXPECT_EQ(slow.run.eventsExecuted - fast.run.eventsExecuted,
+              fast.run.fastInlineHits)
+        << what;
+    EXPECT_EQ(slow.run.l1RespondEvents - fast.run.l1RespondEvents,
+              fast.run.l1FastHits)
+        << what;
+
+#if PIRANHA_COHERENCE_TRACE
+    // Same coherence trace, event for event (ticks, values, states).
+    ASSERT_EQ(slow.trace.size(), fast.trace.size()) << what;
+    for (std::size_t i = 0; i < slow.trace.size(); ++i)
+        EXPECT_TRUE(slow.trace[i] == fast.trace[i])
+            << what << ": trace diverges at event " << i;
+#endif
+}
+
+TEST(FastPathIdentity, OltpP8AcrossSeeds)
+{
+    REQUIRE_FASTPATH_COMPILED();
+    for (std::uint64_t seed : {1ull, 2ull, 7ull}) {
+        expectIdentical(
+            configP8(),
+            [seed] {
+                return std::make_unique<OltpWorkload>(OltpParams{},
+                                                      seed);
+            },
+            30, strFormat("P8/OLTP seed %llu",
+                          (unsigned long long)seed));
+    }
+}
+
+TEST(FastPathIdentity, DssP8)
+{
+    REQUIRE_FASTPATH_COMPILED();
+    expectIdentical(
+        configP8(),
+        [] { return std::make_unique<DssWorkload>(DssParams{}, 3); },
+        2, "P8/DSS");
+}
+
+TEST(FastPathIdentity, OltpMultiNode)
+{
+    REQUIRE_FASTPATH_COMPILED();
+    expectIdentical(
+        configPn(4, 2),
+        [] {
+            return std::make_unique<OltpWorkload>(OltpParams{}, 5);
+        },
+        20, "Pn(4,2)/OLTP");
+}
+
+TEST(FastPathIdentity, OltpSingleCpuInOrder)
+{
+    REQUIRE_FASTPATH_COMPILED();
+    expectIdentical(
+        configP1(),
+        [] {
+            return std::make_unique<OltpWorkload>(OltpParams{}, 1);
+        },
+        40, "P1/OLTP");
+}
+
+TEST(FastPathIdentity, OltpOooBaseline)
+{
+    REQUIRE_FASTPATH_COMPILED();
+    // The OOO baseline exercises nonzero overlap credit and a wider
+    // issue width on the same datapath.
+    expectIdentical(
+        configOOO(1),
+        [] {
+            return std::make_unique<OltpWorkload>(OltpParams{}, 2);
+        },
+        30, "OOO/OLTP");
+}
+
+TEST(FastPathIdentity, CoreParamKnobDisablesFastPath)
+{
+    // CoreParams::fastPath=false must force the slow path even when
+    // the process default is on.
+    FastPathGuard guard(true);
+    SystemConfig cfg = configP1();
+    cfg.core.fastPath = false;
+    OltpWorkload wl;
+    PiranhaSystem sys(cfg);
+    RunResult r = sys.run(wl, 10);
+    EXPECT_EQ(r.l1FastHits, 0u);
+    EXPECT_GT(r.l1RespondEvents, 0u);
+}
+
+TEST(FastPathIdentity, InlineHitsEngageSomewhere)
+{
+    REQUIRE_FASTPATH_COMPILED();
+    // On a single-CPU system long hit streaks leave the event queue
+    // quiet, so the zero-event tier must actually engage.
+    FastPathGuard guard(true);
+    OltpWorkload wl;
+    PiranhaSystem sys(configP1());
+    RunResult r = sys.run(wl, 20);
+    EXPECT_GT(r.fastInlineHits, 0u);
+}
+
+} // namespace
+} // namespace piranha
