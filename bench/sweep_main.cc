@@ -17,6 +17,8 @@
  * simulated results.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -27,6 +29,14 @@
 using namespace piranha;
 
 namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void
+onSigint(int)
+{
+    g_interrupted.store(true);
+}
 
 SweepSpec
 sweepFig5()
@@ -310,6 +320,11 @@ main(int argc, char **argv)
     if (verify)
         return runVerify(spec, opts);
 
+    // Ctrl-C drains gracefully: in-flight jobs finish, queued ones
+    // are marked cancelled, and the partial JSON report still lands.
+    std::signal(SIGINT, onSigint);
+    opts.cancel = &g_interrupted;
+
     SweepReport report = SweepRunner(opts).run(spec);
 
     TextTable t({"Job", "Status", "ExecTime(ms)", "Busy%", "Host(s)"});
@@ -321,15 +336,17 @@ main(int argc, char **argv)
                   TextTable::fmt(j.hostSeconds, 2)});
     }
     t.print(std::cout);
-    std::printf("\n%zu jobs on %u threads in %.2fs host time\n",
-                report.jobs.size(), report.threads,
-                report.hostSeconds);
+    std::printf("\n%zu jobs on %u threads in %.2fs host time%s\n",
+                report.jobs.size(), report.threads, report.hostSeconds,
+                report.interrupted ? " (interrupted)" : "");
 
     if (!json_path.empty()) {
         if (!report.writeJsonFile(json_path))
             return 1;
         std::cout << "report written to " << json_path << "\n";
     }
+    if (report.interrupted)
+        return 130;
     unsigned bad = report.count(JobStatus::Failed) +
                    report.count(JobStatus::TimedOut);
     return bad ? 1 : 0;

@@ -18,11 +18,17 @@
 #                                     BENCH_datapath.json) and a
 #                                     profiler-breakdown artifact
 #                                     (PROFILE_breakdown.json)
+#   scripts/ci.sh faults [build-dir]  build + tests, then a pinned-seed
+#                                     fault-injection campaign
+#                                     (DESIGN.md §9) whose outcome
+#                                     histogram must match exactly;
+#                                     writes CAMPAIGN_ci.json as an
+#                                     artifact
 set -euo pipefail
 
 MODE=tier1
 case "${1:-}" in
-  asan|perf)
+  asan|perf|faults)
     MODE=$1
     shift
     ;;
@@ -31,6 +37,7 @@ esac
 DEFAULT_DIR=build-ci
 [[ "$MODE" == "asan" ]] && DEFAULT_DIR=build-asan
 [[ "$MODE" == "perf" ]] && DEFAULT_DIR=build-perf
+[[ "$MODE" == "faults" ]] && DEFAULT_DIR=build-faults
 BUILD_DIR="${1:-$DEFAULT_DIR}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
@@ -53,6 +60,35 @@ if [[ "$MODE" == "asan" ]]; then
     # Drive the protocol+tracer under the sanitizers from outside the
     # gtest harness too: every built-in litmus across a few seeds.
     "$BUILD_DIR"/bench/sweep_main --litmus --seeds 4 --threads 2
+fi
+
+if [[ "$MODE" == "faults" ]]; then
+    # Deterministic campaign with pinned seeds: the planner is a pure
+    # function of (config, seed), so the outcome histogram — and the
+    # per-run records — must reproduce exactly on any host at any
+    # thread count. Drift means injection, recovery, or classification
+    # changed behaviour and the expectations here (and in
+    # tests/fault_test.cc) need a deliberate update.
+    "$BUILD_DIR"/bench/campaign_main --injections 12 --seed 1 --count 2 \
+        --work 1024 \
+        --kinds mem_data_flip,mem_data_double_flip,mem_check_flip,l1_data_flip,l2_data_flip,ics_drop,ics_delay,mem_stall \
+        --json CAMPAIGN_ci.json
+    python3 - <<'PYEOF'
+import json, sys
+rep = json.load(open("CAMPAIGN_ci.json"))
+expect = {"corrected": 3, "detected": 1, "hang": 1, "masked": 1,
+          "recovered": 6}
+got = rep["histogram"]
+print(f"campaign histogram: {got}")
+if got != expect:
+    print(f"FAIL: expected {expect}", file=sys.stderr)
+    sys.exit(1)
+hangs = [r for r in rep["runs"] if r["outcome"] == "hang"]
+if not all("diagnostic dump" in r.get("watchdog_dump", "") for r in hangs):
+    print("FAIL: hang outcome without a watchdog dump", file=sys.stderr)
+    sys.exit(1)
+print("campaign histogram matches the pinned expectation")
+PYEOF
 fi
 
 if [[ "$MODE" == "perf" ]]; then

@@ -5,6 +5,10 @@
 #include "check/trace.h"
 #include "sim/profiler.h"
 
+#if PIRANHA_FAULT_INJECT
+#include "fault/injector.h"
+#endif
+
 namespace piranha {
 
 L1Cache::L1Cache(EventQueue &eq, std::string name, const L1Params &params,
@@ -122,6 +126,10 @@ L1Cache::accessFast(const MemReq &req, MemRsp &out)
         L1Line *l = _tags.find(req.addr);
         if (!(l && (l->state == L1State::M || l->state == L1State::E)))
             return false;
+#if PIRANHA_FAULT_INJECT
+        if (l->parityBad)
+            return false; // slow path runs the parity recovery
+#endif
         PIR_TRACE(_p.tracer,
                   TraceEvent{.tick = curTick(),
                              .kind = TraceKind::StoreIssue,
@@ -165,6 +173,10 @@ L1Cache::accessFast(const MemReq &req, MemRsp &out)
         L1Line *l = _tags.find(req.addr);
         if (!(l && (l->state == L1State::M || l->state == L1State::E)))
             return false;
+#if PIRANHA_FAULT_INJECT
+        if (l->parityBad)
+            return false; // slow path runs the parity recovery
+#endif
         l->state = L1State::M;
         _tags.touch(*l);
         ++statHits;
@@ -194,6 +206,10 @@ L1Cache::accessFast(const MemReq &req, MemRsp &out)
     L1Line *l = _tags.find(req.addr);
     if (!l)
         return false;
+#if PIRANHA_FAULT_INJECT
+    if (l->parityBad)
+        return false; // slow path runs the parity recovery
+#endif
     _tags.touch(*l);
     ++statHits;
     ++fastHits;
@@ -236,6 +252,17 @@ L1Cache::tryStart()
             // only when the line is modifiable and the data applied
             // (globally ordered).
             L1Line *l = _tags.find(req.addr);
+#if PIRANHA_FAULT_INJECT
+            if (l && l->parityBad) {
+                // Detected at use: refetch exclusively (an S-state
+                // upgrade would keep the corrupt data), or machine
+                // check when the only good copy was here.
+                if (!startParityRecovery(req, pc.rsp, *l))
+                    return;
+                _cpuQueue.pop_front();
+                continue;
+            }
+#endif
             if (l && (l->state == L1State::M ||
                       l->state == L1State::E)) {
                 PIR_TRACE(_p.tracer,
@@ -292,6 +319,16 @@ L1Cache::tryStart()
 
         if (req.op == MemOp::Wh64) {
             L1Line *l = _tags.find(req.addr);
+#if PIRANHA_FAULT_INJECT
+            if (l && l->parityBad) {
+                // The write hint overwrites the whole line and leaves
+                // its contents architecturally undefined — the parity
+                // error is masked by the overwrite.
+                l->parityBad = false;
+                if (_p.injector)
+                    ++_p.injector->counters.parityMaskedByOverwrite;
+            }
+#endif
             if (l && (l->state == L1State::M || l->state == L1State::E)) {
                 l->state = L1State::M;
                 _tags.touch(*l);
@@ -327,6 +364,14 @@ L1Cache::tryStart()
             continue;
         }
         L1Line *l = _tags.find(req.addr);
+#if PIRANHA_FAULT_INJECT
+        if (l && l->parityBad) {
+            if (!startParityRecovery(req, pc.rsp, *l))
+                return;
+            _cpuQueue.pop_front();
+            continue;
+        }
+#endif
         if (l) {
             _tags.touch(*l);
             ++statHits;
@@ -403,6 +448,58 @@ L1Cache::issueMiss(const MemReq &req, RspHandler rsp, bool is_upgrade)
     }
     sendToBank(std::move(msg), _mshr.lineAddr);
 }
+
+#if PIRANHA_FAULT_INJECT
+bool
+L1Cache::startParityRecovery(const MemReq &req, RspHandler &rsp,
+                             L1Line &bad)
+{
+    if (bad.state == L1State::M) {
+        // Dirty data with bad parity: the only up-to-date copy is
+        // untrustworthy. Unrecoverable — raise a machine check; the
+        // run loop tears the simulation down.
+        if (_p.injector)
+            _p.injector->raiseMachineCheck(strFormat(
+                "%s: parity error on dirty line %#llx", name().c_str(),
+                static_cast<unsigned long long>(bad.addr)));
+        return false;
+    }
+    if (_mshr.valid)
+        return false; // blocking cache: retried when the MSHR frees
+
+    if (_p.injector)
+        ++_p.injector->counters.l1ParityRefetch;
+    ++statMisses;
+    _mshr.valid = true;
+    _mshr.req = req;
+    _mshr.rsp = std::move(rsp);
+    _mshr.lineAddr = lineAlign(req.addr);
+    _mshr.isUpgrade = false;
+    _mshr.haveVictim = true;
+    _mshr.victimAddr = bad.addr;
+
+    // The refetch names the parity-bad line as its own victim: the L2
+    // clears this L1's ownership records at its serialization point
+    // (parityVictim suppresses the data install — the payload is
+    // untrusted, and a clean line is current in L2/memory anyway),
+    // and completeMiss's normal victim-drop path reuses the way for
+    // the incoming fill. Until the reply arrives the line keeps
+    // servicing forwards like any functional victim.
+    IcsMsg msg;
+    msg.addr = _mshr.lineAddr;
+    msg.reqId = nextReqId();
+    msg.type = req.op == MemOp::Store ? IcsMsgType::GetX
+                                      : IcsMsgType::GetS;
+    msg.hasVictim = true;
+    msg.victimAddr = bad.addr;
+    msg.victimDirty = false; // clean by construction (M checked above)
+    msg.hasData = true;
+    msg.data = bad.data;
+    msg.parityVictim = true;
+    sendToBank(std::move(msg), _mshr.lineAddr);
+    return true;
+}
+#endif // PIRANHA_FAULT_INJECT
 
 void
 L1Cache::sendToBank(IcsMsg msg, Addr addr)
@@ -544,6 +641,9 @@ L1Cache::completeMiss(const IcsMsg &msg)
         }
         slot->data = msg.data;
         slot->state = L1State::E;
+#if PIRANHA_FAULT_INJECT
+        slot->parityBad = false; // full fill: parity regenerated
+#endif
         _tags.touch(*slot);
         PIR_TRACE(_p.tracer,
                   TraceEvent{.tick = curTick(),
@@ -579,6 +679,9 @@ L1Cache::completeMiss(const IcsMsg &msg)
                 panic("%s: fill found no free way", name().c_str());
         }
         _tags.install(*slot, msg.addr);
+#if PIRANHA_FAULT_INJECT
+        slot->parityBad = false; // fresh fill: parity regenerated
+#endif
         if (msg.hasData)
             slot->data = msg.data;
         else
@@ -656,6 +759,21 @@ L1Cache::drainStoreBuffer()
         return;
     const SbEntry &e = _sb.front();
     L1Line *l = _tags.find(e.addr);
+#if PIRANHA_FAULT_INJECT
+    if (l && l->parityBad) {
+        // The pending store must not merge into a corrupt line:
+        // refetch exclusively first (the entry stays buffered; the
+        // fill's drain pass applies it), or machine check on dirty.
+        MemReq req;
+        req.op = MemOp::Store;
+        req.addr = e.addr;
+        req.size = e.size;
+        req.value = e.value;
+        RspHandler none{};
+        startParityRecovery(req, none, *l);
+        return;
+    }
+#endif
     if (l && (l->state == L1State::M || l->state == L1State::E)) {
         applyStore(*l, e);
         _sb.pop_front();
@@ -765,5 +883,27 @@ L1Cache::notifyEviction(Addr addr)
     if (_evictionListener)
         _evictionListener(addr);
 }
+
+#if PIRANHA_FAULT_INJECT
+L1State
+L1Cache::faultMarkParity(unsigned nth, unsigned bit, bool corrupt_data)
+{
+    for (L1Line &l : _tags.raw()) {
+        if (!l.valid)
+            continue;
+        if (nth--)
+            continue;
+        l.parityBad = true;
+        if (corrupt_data) {
+            unsigned byte = (bit / 8) % lineBytes;
+            l.data.bytes[byte] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        return l.state;
+    }
+    return L1State::I;
+}
+#endif
+
 
 } // namespace piranha

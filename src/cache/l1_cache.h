@@ -82,6 +82,13 @@ struct L1Line : TagLine
 {
     L1State state = L1State::I;
     LineData data;
+    /**
+     * Tag or data parity failed (fault injection). The line is
+     * treated as untrustworthy: clean copies are refetched on next
+     * use, a dirty copy raises a machine check (its only up-to-date
+     * data is gone). Always false without an attached injector.
+     */
+    bool parityBad = false;
 };
 
 /** Configuration of one L1 cache. */
@@ -98,6 +105,8 @@ struct L1Params
     int node = 0;
     CoherenceTracer *tracer = nullptr;
     FaultState *faults = nullptr;
+    /** Fault injector (src/fault/); filled in by Chip. */
+    FaultInjector *injector = nullptr;
 };
 
 /** A first-level instruction or data cache. */
@@ -180,6 +189,19 @@ class L1Cache : public SimObject, public IcsClient
 
     int l1Id() const { return _l1Id; }
 
+#if PIRANHA_FAULT_INJECT
+    /** Valid lines currently in the array (fault-site selection). */
+    unsigned faultValidLines() const { return _tags.validCount(); }
+
+    /**
+     * Mark the @p nth valid line (walk order) parity-bad; when
+     * @p corrupt_data, additionally flip data bit @p bit (0..511).
+     * Returns the line's MESI state, or I when @p nth out of range.
+     */
+    L1State faultMarkParity(unsigned nth, unsigned bit,
+                            bool corrupt_data);
+#endif
+
     void regStats(StatGroup &parent);
 
     Scalar statHits;
@@ -245,6 +267,18 @@ class L1Cache : public SimObject, public IcsClient
     void tryStart();
     void startAccess(const MemReq &req, RspHandler rsp);
     void issueMiss(const MemReq &req, RspHandler rsp, bool is_upgrade);
+#if PIRANHA_FAULT_INJECT
+    /**
+     * Parity recovery: refetch a clean parity-bad line by issuing a
+     * miss that names the line as its own victim (the L2 clears the
+     * ownership records at its serialization point without installing
+     * the untrusted data). A dirty line instead raises a machine
+     * check. Returns false when the MSHR is busy (caller waits) or a
+     * machine check was raised; @p rsp is consumed only on success.
+     */
+    bool startParityRecovery(const MemReq &req, RspHandler &rsp,
+                             L1Line &bad);
+#endif
     void completeMiss(const IcsMsg &msg);
     void drainStoreBuffer();
     void scheduleDrain();

@@ -7,6 +7,10 @@
 #include "check/trace.h"
 #include "sim/profiler.h"
 
+#if PIRANHA_FAULT_INJECT
+#include "fault/injector.h"
+#endif
+
 namespace piranha {
 
 L2Bank::L2Bank(EventQueue &eq, std::string name, const L2Params &params,
@@ -89,6 +93,37 @@ L2Bank::maybeErase(Addr addr)
         _info.erase(lineNum(addr));
     }
 }
+
+#if PIRANHA_FAULT_INJECT
+L2Line *
+L2Bank::findChecked(Addr addr)
+{
+    L2Line *l = _tags.find(addr);
+    if (!l || !l->parityBad)
+        return l;
+    // Parity detected on read. Injection only targets clean local
+    // lines (see faultEligibleLines), so memory is current: discard
+    // the copy and let the caller refetch. The cached partial-dir
+    // interpretation dies with the data — it must be re-read from the
+    // ECC bits, which also keeps the exclusive-grant shortcut from
+    // firing with no data source on chip.
+    if (l->dirty && _p.injector)
+        _p.injector->raiseMachineCheck(strFormat(
+            "%s: parity error on dirty L2 line %#llx", name().c_str(),
+            static_cast<unsigned long long>(addr)));
+    if (_p.injector)
+        ++_p.injector->counters.l2ParityRefetch;
+    // The eviction may erase the line's idle Info entry entirely
+    // (callers must therefore call findChecked before taking an Info
+    // reference). Re-find: a surviving entry needs its cached
+    // partial-dir knowledge cleared; a re-created one starts at
+    // PD_Unknown anyway.
+    evictL2Line(*l);
+    if (Info *i = _info.find(lineNum(addr)))
+        i->pdir = Info::PD_Unknown;
+    return nullptr;
+}
+#endif
 
 bool
 L2Bank::canProcess(const Info &info, const IcsMsg &msg) const
@@ -230,6 +265,22 @@ L2Bank::handleVictim(const IcsMsg &msg)
         if (!msg.hasData)
             panic("%s: owner victim without shipped data",
                   name().c_str());
+#if PIRANHA_FAULT_INJECT
+        if (msg.parityVictim) {
+            // Parity refetch: the departing copy failed parity, so the
+            // shipped payload is untrusted and must not be installed.
+            // The line was clean in the L1; memory is current unless
+            // the chip as a whole held newer data (nodeDirty), in
+            // which case the last good copy is gone.
+            if (v.nodeDirty && _p.injector)
+                _p.injector->raiseMachineCheck(strFormat(
+                    "%s: parity loss of node-dirty line %#llx",
+                    name().c_str(),
+                    static_cast<unsigned long long>(msg.victimAddr)));
+            maybeErase(msg.victimAddr);
+            return false;
+        }
+#endif
         ++statWbInstalls;
         bool dirty = msg.victimDirty || v.nodeDirty;
         v.nodeDirty = false;
@@ -249,9 +300,11 @@ void
 L2Bank::dispatchL1Request(IcsMsg msg, bool wb_decision)
 {
     Addr a = msg.addr;
+    // Parity check first: discarding a bad line may erase the idle
+    // Info entry, so the reference must be taken afterwards.
+    L2Line *l2l = findChecked(a);
     Info &info = infoFor(a);
     std::uint32_t bit = 1u << msg.l1Id;
-    L2Line *l2l = _tags.find(a);
     bool ifetch = isInstrL1(msg.l1Id);
 
     if (msg.type == IcsMsgType::Upgrade && !(info.sharers & bit)) {
@@ -407,9 +460,11 @@ L2Bank::grantLocalExclusive(IcsMsg req, bool wb_decision,
                             const LineData *mem_data)
 {
     Addr a = req.addr;
+    // findChecked before infoFor: discarding a parity-bad line may
+    // erase the idle Info entry (see dispatchL1Request).
+    L2Line *l2l = findChecked(a);
     Info &info = infoFor(a);
     std::uint32_t bit = 1u << req.l1Id;
-    L2Line *l2l = _tags.find(a);
     bool still_sharer =
         req.type == IcsMsgType::Upgrade && (info.sharers & bit);
 
@@ -699,6 +754,9 @@ L2Bank::installL2(Addr addr, const LineData &data, bool dirty)
     _tags.install(*slot, addr);
     slot->data = data;
     slot->dirty = dirty;
+#if PIRANHA_FAULT_INJECT
+    slot->parityBad = false;
+#endif
 }
 
 void
@@ -768,7 +826,7 @@ L2Bank::onPeReadLocal(IcsMsg msg)
     info.peTxn = Info::Txn{};
     info.peTxn.kind = Info::Txn::PeRead;
     info.peTxn.req = msg;
-    L2Line *l2l = _tags.find(a);
+    L2Line *l2l = findChecked(a);
     info.peTxn.localPresent = l2l || info.sharers != 0;
 
     bool need_data = msg.mode != PeLocalMode::DirOnly;
@@ -1090,5 +1148,39 @@ L2Bank::drainRetryDispatch(IcsMsg next)
     }
     drainBlocked(a);
 }
+
+#if PIRANHA_FAULT_INJECT
+
+unsigned
+L2Bank::faultEligibleLines() const
+{
+    unsigned n = 0;
+    for (const L2Line &l :
+         const_cast<TagArray<L2Line> &>(_tags).raw())
+        if (l.valid && !l.dirty && !l.parityBad && isLocal(l.addr) &&
+            !lineBusy(l.addr))
+            ++n;
+    return n;
+}
+
+bool
+L2Bank::faultMarkParity(unsigned nth, unsigned bit, bool corrupt_data)
+{
+    for (L2Line &l : _tags.raw()) {
+        if (!(l.valid && !l.dirty && !l.parityBad && isLocal(l.addr) &&
+              !lineBusy(l.addr)))
+            continue;
+        if (nth--)
+            continue;
+        l.parityBad = true;
+        if (corrupt_data)
+            l.data.bytes[(bit / 8) % lineBytes] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        return true;
+    }
+    return false;
+}
+
+#endif // PIRANHA_FAULT_INJECT
 
 } // namespace piranha

@@ -49,6 +49,12 @@ struct L2Line : TagLine
 {
     LineData data;
     bool dirty = false;
+    /**
+     * Tag or data parity failed (fault injection). Detected on the
+     * next read: the clean copy is discarded and refetched from
+     * memory. Always false without an attached injector.
+     */
+    bool parityBad = false;
 };
 
 /** Configuration of one L2 bank. */
@@ -69,6 +75,8 @@ struct L2Params
      *  (src/check/); filled in by Chip. */
     CoherenceTracer *tracer = nullptr;
     FaultState *faults = nullptr;
+    /** Fault injector (src/fault/); filled in by Chip. */
+    FaultInjector *injector = nullptr;
 };
 
 /** A second-level cache bank with its duplicate-L1-tag directory. */
@@ -101,6 +109,22 @@ class L2Bank : public SimObject, public IcsClient
 
     /** Diagnostic dump of busy lines. */
     void debugDump(std::ostream &os) const;
+
+#if PIRANHA_FAULT_INJECT
+    /**
+     * Fault-injection site selection. Eligible lines are valid,
+     * clean, and local-homed: a clean local line is backed by current
+     * memory, so discard-and-refetch is a sound recovery (dirty or
+     * remote-owned L2 parity losses would need protocol machinery the
+     * paper does not describe; the injector models those through the
+     * L1 dirty-parity machine check instead).
+     */
+    unsigned faultEligibleLines() const;
+
+    /** Mark the @p nth eligible line parity-bad; when @p corrupt_data
+     *  also flip data bit @p bit. Returns false if out of range. */
+    bool faultMarkParity(unsigned nth, unsigned bit, bool corrupt_data);
+#endif
 
     /**
      * Hook that stashes an evicted node-exclusive line into the
@@ -216,6 +240,17 @@ class L2Bank : public SimObject, public IcsClient
     }
 
     void maybeErase(Addr addr);
+
+#if PIRANHA_FAULT_INJECT
+    /**
+     * Read-time parity check: returns the line, or discards a
+     * parity-bad copy (clean, so memory is current — the caller then
+     * proceeds as on an L2 miss and refetches) and returns null.
+     */
+    L2Line *findChecked(Addr addr);
+#else
+    L2Line *findChecked(Addr addr) { return _tags.find(addr); }
+#endif
 
     // Request-side handlers.
     void lookupDispatch(IcsMsg m);

@@ -24,11 +24,13 @@
  *  - workload/ OLTP / DSS / TPC-C synthetic generators
  *  - system/ chip & system assembly, Table-1 configurations
  *  - harness/ parallel experiment sweeps with JSON result export
+ *  - fault/  seeded fault-injection plans and outcome campaigns
  */
 
 #ifndef PIRANHA_CORE_PIRANHA_H
 #define PIRANHA_CORE_PIRANHA_H
 
+#include "fault/campaign.h"
 #include "harness/sweep.h"
 #include "harness/sweep_runner.h"
 #include "stats/json_writer.h"

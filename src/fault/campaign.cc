@@ -1,0 +1,265 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+
+#include "check/checker.h"
+#include "sim/logging.h"
+
+namespace piranha {
+
+const char *
+faultOutcomeName(FaultOutcome o)
+{
+    switch (o) {
+      case FaultOutcome::NotFired: return "not_fired";
+      case FaultOutcome::Masked: return "masked";
+      case FaultOutcome::Corrected: return "corrected";
+      case FaultOutcome::Recovered: return "recovered";
+      case FaultOutcome::Detected: return "detected";
+      case FaultOutcome::Silent: return "silent";
+      case FaultOutcome::Hang: return "hang";
+      case FaultOutcome::Failed: return "failed";
+      case FaultOutcome::kNumOutcomes: break;
+    }
+    return "?";
+}
+
+FaultOutcome
+classifyRun(const RunResult &r, bool checker_ok, bool checker_ran)
+{
+    if (r.machineCheck)
+        return FaultOutcome::Detected;
+    if (r.watchdogTripped)
+        return FaultOutcome::Hang;
+    if (checker_ran && !checker_ok)
+        return FaultOutcome::Silent;
+    if (r.aborted)
+        // Not the watchdog, not a machine check: the run ran out of
+        // simulated time without finishing its work — forward
+        // progress effectively stopped.
+        return FaultOutcome::Hang;
+    if (r.faults.fired == 0)
+        return FaultOutcome::NotFired;
+    if (r.faults.recoveries() > 0)
+        return FaultOutcome::Recovered;
+    if (r.faults.corrections() > 0)
+        return FaultOutcome::Corrected;
+    return FaultOutcome::Masked;
+}
+
+std::map<std::string, unsigned>
+CampaignReport::histogram() const
+{
+    std::map<std::string, unsigned> h;
+    for (const InjectionRecord &r : runs)
+        ++h[faultOutcomeName(r.outcome)];
+    return h;
+}
+
+JsonValue
+CampaignReport::toJson(bool include_dumps) const
+{
+    JsonValue root = JsonValue::object();
+    root.set("campaign", name);
+    root.set("interrupted", interrupted);
+    root.set("host_seconds", hostSeconds);
+    root.set("runs_total", static_cast<double>(runs.size()));
+
+    JsonValue hist = JsonValue::object();
+    for (const auto &[k, v] : histogram())
+        hist.set(k, static_cast<double>(v));
+    root.set("histogram", std::move(hist));
+
+    JsonValue jarr = JsonValue::array();
+    for (const InjectionRecord &r : runs) {
+        JsonValue jo = JsonValue::object();
+        jo.set("seed", static_cast<double>(r.seed));
+        jo.set("outcome", faultOutcomeName(r.outcome));
+        if (!r.detail.empty())
+            jo.set("detail", r.detail);
+        if (!r.faults.empty()) {
+            JsonValue fa = JsonValue::array();
+            for (const FiredFault &f : r.faults) {
+                JsonValue fo = JsonValue::object();
+                fo.set("kind", faultKindName(f.kind));
+                fo.set("at_ps", static_cast<double>(f.at));
+                fo.set("node", static_cast<double>(f.node));
+                fo.set("site", f.site);
+                fa.append(std::move(fo));
+            }
+            jo.set("fired", std::move(fa));
+        }
+        JsonValue co = JsonValue::object();
+        const FaultCounters &c = r.counters;
+        auto put = [&co](const char *k, std::uint64_t v) {
+            if (v)
+                co.set(k, static_cast<double>(v));
+        };
+        put("fired", c.fired);
+        put("no_site", c.noSite);
+        put("ecc_corrected_data", c.eccCorrectedData);
+        put("ecc_corrected_check", c.eccCorrectedCheck);
+        put("ecc_uncorrectable", c.eccUncorrectable);
+        put("scrub_writes", c.scrubWrites);
+        put("ecc_masked_by_write", c.eccMaskedByWrite);
+        put("dir_flips", c.dirFlips);
+        put("l1_parity_refetch", c.l1ParityRefetch);
+        put("l2_parity_refetch", c.l2ParityRefetch);
+        put("ics_dropped", c.icsDropped);
+        put("ics_duplicated", c.icsDuplicated);
+        put("ics_delayed", c.icsDelayed);
+        put("net_dropped", c.netDropped);
+        put("net_retransmits", c.netRetransmits);
+        put("net_duplicated", c.netDuplicated);
+        put("net_dup_filtered", c.netDupFiltered);
+        put("net_delayed", c.netDelayed);
+        put("mem_stalls", c.memStalls);
+        put("machine_checks", c.machineChecks);
+        jo.set("counters", std::move(co));
+        if (!r.stats.empty()) {
+            JsonValue st = JsonValue::object();
+            for (const auto &[k, v] : r.stats)
+                st.set(k, v);
+            jo.set("stats", std::move(st));
+        }
+        if (include_dumps && !r.watchdogDump.empty())
+            jo.set("watchdog_dump", r.watchdogDump);
+        jarr.append(std::move(jo));
+    }
+    root.set("runs", std::move(jarr));
+    return root;
+}
+
+bool
+CampaignReport::writeJsonFile(const std::string &path,
+                              bool include_dumps) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    toJson(include_dumps).write(os, 2);
+    os << "\n";
+    return os.good();
+}
+
+namespace {
+
+/** Body of one injected run; fills @p rec, returns the job result. */
+CustomResult
+runInjection(const CampaignSpec &spec, std::uint64_t seed,
+             InjectionRecord &rec)
+{
+    SystemConfig cfg = spec.config;
+    cfg.faults = spec.planTemplate;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = seed;
+
+    CoherenceTracer tracer;
+    if (spec.checkTrace)
+        cfg.chip.tracer = &tracer;
+
+    // Panics (protocol inconsistencies exposed by an injected fault)
+    // must come back as exceptions, not process aborts: a detected
+    // inconsistency is a legitimate campaign outcome.
+    PanicThrowsGuard panic_guard;
+
+    CustomResult cr;
+    rec.seed = seed;
+    try {
+        std::unique_ptr<Workload> wl = spec.workload.make();
+        if (!wl)
+            throw std::runtime_error("workload factory returned null");
+        PiranhaSystem sys(cfg);
+        std::uint64_t per_cpu = std::max<std::uint64_t>(
+            1, spec.workload.totalWork / sys.totalCpus());
+        RunResult run = sys.run(*wl, per_cpu, spec.maxTime);
+
+        rec.counters = run.faults;
+        rec.faults = run.firedFaults;
+        rec.watchdogDump = run.watchdogDump;
+        rec.stats = flattenRunResult(run);
+
+        bool checker_ran = false, checker_ok = true;
+        if (spec.checkTrace) {
+            checker_ran = true;
+            CheckReport chk =
+                checkCoherence(tracer.events(), tracer.dropped());
+            checker_ok = chk.ok();
+            if (!checker_ok)
+                rec.detail = strFormat(
+                    "%zu coherence violation(s), first: %s",
+                    chk.violations.size(),
+                    chk.violations.empty()
+                        ? "(truncated trace)"
+                        : chk.violations.front().detail.c_str());
+        }
+        rec.outcome = classifyRun(run, checker_ok, checker_ran);
+        if (rec.detail.empty()) {
+            if (run.machineCheck)
+                rec.detail = run.machineCheckReason;
+            else if (run.watchdogTripped)
+                rec.detail = run.watchdogReason;
+            else if (run.aborted)
+                rec.detail = "max_time exhausted";
+        }
+        cr.stats = rec.stats;
+    } catch (const SimError &e) {
+        // A panic caught here means the fault drove the model into a
+        // state it recognised as impossible — detected, not silent.
+        rec.outcome = FaultOutcome::Detected;
+        rec.detail = e.what();
+    } catch (const std::exception &e) {
+        rec.outcome = FaultOutcome::Failed;
+        rec.detail = e.what();
+        cr.ok = false;
+        cr.error = e.what();
+    }
+    return cr;
+}
+
+} // namespace
+
+CampaignReport
+CampaignRunner::run(const CampaignSpec &spec) const
+{
+    // Records are pre-sized and each job writes only its own slot, so
+    // the pool threads never contend.
+    std::vector<InjectionRecord> records(spec.injections);
+    std::vector<SweepPoint> points;
+    points.reserve(spec.injections);
+    for (unsigned i = 0; i < spec.injections; ++i) {
+        std::uint64_t seed = spec.baseSeed + i;
+        records[i].seed = seed;
+        InjectionRecord *rec = &records[i];
+        SweepPoint pt;
+        pt.label = strFormat("%s/seed%llu", spec.name.c_str(),
+                             static_cast<unsigned long long>(seed));
+        pt.maxTime = spec.maxTime;
+        pt.custom = [&spec, seed, rec] {
+            return runInjection(spec, seed, *rec);
+        };
+        points.push_back(std::move(pt));
+    }
+
+    SweepReport sr = _runner.run(spec.name, points);
+
+    CampaignReport report;
+    report.name = spec.name;
+    report.interrupted = sr.interrupted;
+    report.hostSeconds = sr.hostSeconds;
+    report.runs.reserve(spec.injections);
+    for (unsigned i = 0; i < spec.injections; ++i) {
+        // Cancelled jobs (SIGINT drain) never ran; leaving them out
+        // keeps the partial report's histogram honest.
+        if (sr.jobs[i].status == JobStatus::Cancelled)
+            continue;
+        report.runs.push_back(std::move(records[i]));
+    }
+    return report;
+}
+
+} // namespace piranha

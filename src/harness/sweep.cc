@@ -63,6 +63,7 @@ jobStatusName(JobStatus s)
       case JobStatus::Ok: return "ok";
       case JobStatus::Failed: return "failed";
       case JobStatus::TimedOut: return "timed_out";
+      case JobStatus::Cancelled: return "cancelled";
     }
     return "?";
 }
@@ -122,10 +123,13 @@ SweepReport::toJson(bool include_stat_tree) const
     root.set("sweep", name);
     root.set("threads", static_cast<double>(threads));
     root.set("host_seconds", hostSeconds);
+    root.set("interrupted", interrupted);
     root.set("jobs_total", static_cast<double>(jobs.size()));
     root.set("jobs_failed",
              static_cast<double>(count(JobStatus::Failed) +
                                  count(JobStatus::TimedOut)));
+    root.set("jobs_cancelled",
+             static_cast<double>(count(JobStatus::Cancelled)));
 
     JsonValue jarr = JsonValue::array();
     for (const JobResult &j : jobs) {
@@ -135,6 +139,8 @@ SweepReport::toJson(bool include_stat_tree) const
         jo.set("config", j.run.config);
         jo.set("workload", j.run.workload);
         jo.set("host_seconds", j.hostSeconds);
+        if (j.attempts > 1)
+            jo.set("attempts", static_cast<double>(j.attempts));
         jo.set("events_per_host_sec", j.eventsPerHostSec);
         if (!j.error.empty())
             jo.set("error", j.error);

@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -92,8 +93,25 @@ struct SweepSpec
     Tick maxTime = 100 * 1000 * ticksPerUs;
 };
 
+/**
+ * A transient host-side failure (resource exhaustion, a flaky I/O
+ * path in a custom job body, ...). The runner retries a job that
+ * throws this, with bounded attempts and linear backoff
+ * (SweepOptions::maxAttempts / retryBackoffSec). Deterministic
+ * simulation errors must NOT use this type: anything else thrown from
+ * a job is recorded as Failed on the first attempt, because a
+ * deterministic universe fails identically every time.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
 /** Outcome of one executed job. */
-enum class JobStatus { Ok, Failed, TimedOut };
+enum class JobStatus { Ok, Failed, TimedOut, Cancelled };
 
 const char *jobStatusName(JobStatus s);
 
@@ -103,6 +121,9 @@ struct JobResult
     std::string label;
     JobStatus status = JobStatus::Ok;
     std::string error;   //!< exception text when status == Failed
+
+    /** Executions the job took (> 1 only after TransientError). */
+    unsigned attempts = 1;
 
     RunResult run;                        //!< valid when status == Ok
     std::map<std::string, double> stats;  //!< flat named stats from run
@@ -132,6 +153,10 @@ struct SweepReport
     std::string name;
     unsigned threads = 1;
     double hostSeconds = 0;
+    /** Cancellation (SweepOptions::cancel) stopped the sweep early:
+     *  in-flight jobs were drained, queued ones marked Cancelled. The
+     *  report is valid but partial. */
+    bool interrupted = false;
     std::vector<JobResult> jobs;
 
     /** Find a job by label (nullptr when absent). */

@@ -41,6 +41,32 @@ JobResult
 SweepRunner::runJob(const SweepPoint &pt) const
 {
     JobResult jr;
+    unsigned max_attempts = std::max(1u, _opts.maxAttempts);
+    HostClock::time_point t_first = HostClock::now();
+    for (unsigned attempt = 1;; ++attempt) {
+        bool transient = false;
+        jr = runJobOnce(pt, transient);
+        jr.attempts = attempt;
+        if (jr.status != JobStatus::Failed || !transient ||
+            attempt >= max_attempts)
+            break;
+        // Bounded linear backoff before the retry.
+        if (_opts.retryBackoffSec > 0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                attempt * _opts.retryBackoffSec));
+    }
+    // Host cost of the job includes failed attempts and backoff.
+    jr.hostSeconds = secondsSince(t_first);
+    if (jr.status == JobStatus::Ok && jr.hostSeconds > 0)
+        jr.eventsPerHostSec =
+            static_cast<double>(jr.run.eventsExecuted) / jr.hostSeconds;
+    return jr;
+}
+
+JobResult
+SweepRunner::runJobOnce(const SweepPoint &pt, bool &transient) const
+{
+    JobResult jr;
     jr.label = pt.label;
     HostClock::time_point t0 = HostClock::now();
 
@@ -81,6 +107,10 @@ SweepRunner::runJob(const SweepPoint &pt) const
             if (_opts.captureStatTree)
                 jr.statTree = statGroupToJson(sys.stats());
         }
+    } catch (const TransientError &e) {
+        jr.status = JobStatus::Failed;
+        jr.error = e.what();
+        transient = true;
     } catch (const std::exception &e) {
         jr.status = JobStatus::Failed;
         jr.error = e.what();
@@ -111,12 +141,23 @@ SweepRunner::run(const std::string &name,
     std::atomic<size_t> finished{0};
     std::mutex progress_mutex;
 
+    std::atomic<bool> saw_cancel{false};
     auto worker = [&] {
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
-            JobResult jr = runJob(points[i]);
+            JobResult jr;
+            if (_opts.cancel &&
+                _opts.cancel->load(std::memory_order_relaxed)) {
+                // Graceful drain: jobs not yet started are skipped
+                // (in-flight ones on other workers finish normally).
+                saw_cancel.store(true, std::memory_order_relaxed);
+                jr.label = points[i].label;
+                jr.status = JobStatus::Cancelled;
+            } else {
+                jr = runJob(points[i]);
+            }
             size_t done = finished.fetch_add(1) + 1;
             if (_opts.progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
@@ -144,6 +185,7 @@ SweepRunner::run(const std::string &name,
             t.join();
     }
 
+    report.interrupted = saw_cancel.load(std::memory_order_relaxed);
     report.hostSeconds = secondsSince(t0);
     return report;
 }

@@ -19,6 +19,7 @@
 #ifndef PIRANHA_HARNESS_SWEEP_RUNNER_H
 #define PIRANHA_HARNESS_SWEEP_RUNNER_H
 
+#include <atomic>
 #include <iosfwd>
 
 #include "harness/sweep.h"
@@ -39,6 +40,27 @@ struct SweepOptions
 
     /** Embed each job's full StatGroup snapshot in the results. */
     bool captureStatTree = true;
+
+    /**
+     * Executions allowed per job when it fails with a TransientError
+     * (see sweep.h); 1 = no retry. Deterministic failures (any other
+     * exception) are never retried — a deterministic universe fails
+     * identically every time.
+     */
+    unsigned maxAttempts = 1;
+
+    /** Linear backoff between attempts: attempt k sleeps
+     *  k * retryBackoffSec before re-running. */
+    double retryBackoffSec = 0.1;
+
+    /**
+     * Cooperative cancellation (SIGINT drain): when the pointee
+     * becomes true, in-flight jobs finish normally but queued jobs
+     * are recorded as Cancelled, and the report is marked
+     * interrupted. The flag is only read — safe to set from a signal
+     * handler through a std::atomic<bool>.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Executes sweep jobs on a host-thread pool. */
@@ -55,13 +77,18 @@ class SweepRunner
                     const std::vector<SweepPoint> &points) const;
 
     /** Execute one point in the calling thread (no pool, no timeout
-     *  unless opts.jobTimeoutSec is set). Exceptions are captured. */
+     *  unless opts.jobTimeoutSec is set). Exceptions are captured;
+     *  TransientError triggers the bounded retry loop. */
     JobResult runJob(const SweepPoint &pt) const;
 
     /** Threads run() will actually use for @p njobs jobs. */
     unsigned effectiveThreads(size_t njobs) const;
 
   private:
+    /** One attempt; @p transient reports whether a failure was a
+     *  TransientError (and thus eligible for retry). */
+    JobResult runJobOnce(const SweepPoint &pt, bool &transient) const;
+
     SweepOptions _opts;
 };
 

@@ -1,8 +1,13 @@
 #include "ics/intra_chip_switch.h"
 
 #include <algorithm>
+#include <ostream>
 
 #include "sim/profiler.h"
+
+#if PIRANHA_FAULT_INJECT
+#include "fault/injector.h"
+#endif
 
 namespace piranha {
 
@@ -56,6 +61,14 @@ IntraChipSwitch::send(IcsMsg msg)
     Port &p = _ports[static_cast<size_t>(msg.dstPort)];
     if (!p.client)
         panic("ICS port %d has no client", msg.dstPort);
+
+#if PIRANHA_FAULT_INJECT
+    // Armed transport faults consume the next message through this
+    // switch: drop (suppressed entirely), delay (the injector re-sends
+    // a copy later), or duplicate (a copy follows the original).
+    if (_faults && !_faults->icsSendHook(_faultNode, *this, msg))
+        return;
+#endif
 
     ++statTransfers;
     if (msg.hasData)
@@ -111,6 +124,20 @@ IntraChipSwitch::pump(int port)
         schedule(p.deliverEvent, deliver);
         // Pump the next message when the datapath frees up.
         schedule(p.pumpEvent, p.freeAt);
+    }
+}
+
+void
+IntraChipSwitch::debugDump(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < _ports.size(); ++i) {
+        const Port &p = _ports[i];
+        std::size_t lo = p.queue[static_cast<int>(IcsLane::Low)].size();
+        std::size_t hi = p.queue[static_cast<int>(IcsLane::High)].size();
+        if (!lo && !hi && !p.pumping)
+            continue;
+        os << "    port " << i << ": lo=" << lo << " hi=" << hi
+           << (p.pumping ? " (pumping)" : "") << "\n";
     }
 }
 

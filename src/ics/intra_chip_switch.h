@@ -24,6 +24,7 @@
 #ifndef PIRANHA_ICS_INTRA_CHIP_SWITCH_H
 #define PIRANHA_ICS_INTRA_CHIP_SWITCH_H
 
+#include <iosfwd>
 #include <vector>
 
 #include "mem/coherence_types.h"
@@ -81,6 +82,20 @@ class IntraChipSwitch : public SimObject
         // Header word, plus 8 data words for line transfers.
         return msg.hasData ? 1 + lineBytes / 8 : 1;
     }
+
+    /**
+     * Fault injection (src/fault/): send() offers each message to the
+     * injector, which may drop, duplicate or delay it.
+     */
+    void
+    setFaultInjector(FaultInjector *f, unsigned node)
+    {
+        _faults = f;
+        _faultNode = node;
+    }
+
+    /** Queue depths and busy ports (watchdog diagnostic dump). */
+    void debugDump(std::ostream &os) const;
 
     /** Statistics registration. */
     void regStats(StatGroup &parent);
@@ -142,6 +157,8 @@ class IntraChipSwitch : public SimObject
 
     const Clock &_clk;
     unsigned _pipeCycles;
+    FaultInjector *_faults = nullptr;
+    unsigned _faultNode = 0;
     std::vector<Port> _ports;
     StatGroup _stats{"ics"};
 };

@@ -51,6 +51,21 @@ class BackingStore
     /** Number of materialized lines (footprint statistics). */
     std::size_t touchedLines() const { return _lines.size(); }
 
+    /**
+     * Visit every materialized line as (lineAddr, Line&). Iteration
+     * order is a deterministic function of the insertion history, so
+     * fault-site selection driven by a seeded RNG over this walk is
+     * reproducible run-to-run.
+     */
+    template <typename F>
+    void
+    forEachLine(F f)
+    {
+        _lines.forEach([&](std::uint64_t line_num, Line &l) {
+            f(static_cast<Addr>(line_num * lineBytes), l);
+        });
+    }
+
     /** Convenience for test setup: write a 64-bit word functionally. */
     void
     poke64(Addr addr, std::uint64_t value)

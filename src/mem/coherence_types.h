@@ -240,6 +240,13 @@ struct IcsMsg
     /** A stale invalidation may still arrive; absorb it (PeData). */
     bool absorbInval = false;
 
+    /**
+     * This is a parity-refetch self-victim (src/fault/): the L1 is
+     * replacing a clean line whose data failed parity, so the L2 must
+     * clear the ownership records but not install the shipped data.
+     */
+    bool parityVictim = false;
+
     /** Transaction id for matching requests to replies. */
     std::uint64_t reqId = 0;
 };
@@ -249,6 +256,9 @@ std::uint64_t nextReqId();
 
 /** Coherence event tracer (src/check/trace.h); owned by the harness. */
 class CoherenceTracer;
+
+/** Fault injector (src/fault/injector.h); owned by the system. */
+class FaultInjector;
 
 /**
  * Deliberate protocol mutations for checker-sensitivity testing.

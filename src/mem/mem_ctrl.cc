@@ -1,6 +1,12 @@
 #include "mem/mem_ctrl.h"
 
+#include <algorithm>
+
 #include "sim/profiler.h"
+
+#if PIRANHA_FAULT_INJECT
+#include "fault/injector.h"
+#endif
 
 namespace piranha {
 
@@ -37,6 +43,12 @@ MemCtrl::writeLine(Addr addr, const LineData *data,
 {
     ++statWrites;
     // Posted: apply functionally now; charge channel time via queue.
+#if PIRANHA_FAULT_INJECT
+    // A full-line data write overwrites any injected corruption (the
+    // rewrite regenerates the stored check bits): fault masked.
+    if (_faults && data)
+        _faults->memWriteHook(_faultNode, lineAlign(addr));
+#endif
     BackingStore::Line &l = _store.line(addr);
     if (data)
         l.data = *data;
@@ -44,6 +56,16 @@ MemCtrl::writeLine(Addr addr, const LineData *data,
         l.dirBits = *dir_bits;
     _queue.push_back(Op{lineAlign(addr), false, nullptr});
     maybePump();
+}
+
+void
+MemCtrl::stallChannel(Tick dur)
+{
+    // Transient controller stall: the channel reports busy for @p dur
+    // on top of any transfer in flight. pump() defers itself while
+    // curTick() < _freeAt, so a pump already scheduled inside the
+    // stall window reschedules rather than servicing early.
+    _freeAt = std::max(_freeAt, curTick()) + dur;
 }
 
 void
@@ -70,6 +92,15 @@ MemCtrl::pump()
     _pumpPending = false;
     if (_queue.empty())
         return;
+#if PIRANHA_FAULT_INJECT
+    // Only an injected stall can move _freeAt past a scheduled pump
+    // (normal pumps fire at or after _freeAt by construction).
+    if (curTick() < _freeAt) {
+        _pumpPending = true;
+        schedule(_pumpEvent, _freeAt);
+        return;
+    }
+#endif
     Op op = std::move(_queue.front());
     _queue.pop_front();
 
@@ -84,6 +115,15 @@ MemCtrl::pump()
         ReadDoneEvent *ev = _readDoneEvents.acquire(this);
         ev->done = std::move(op.done);
         ev->snapshot = _store.line(op.addr);
+#if PIRANHA_FAULT_INJECT
+        // ECC check point: the array read is where stored check bits
+        // are decoded. Correctable errors are fixed in the snapshot
+        // and scrubbed back to the array; uncorrectable ones raise a
+        // machine check (the line still completes with what it has —
+        // the run is torn down by the machine-check poll).
+        if (_faults)
+            _faults->memReadHook(_faultNode, op.addr, ev->snapshot);
+#endif
         schedule(*ev, done_at);
     }
     _freeAt = now + occupancy;

@@ -96,6 +96,21 @@ class MemCtrl : public SimObject
 
     RdramChannel &channel() { return _chan; }
 
+    /**
+     * Fault injection (src/fault/): reads run their snapshot through
+     * the injector's ECC model (correct-and-scrub or machine check),
+     * data writes mask any pending corruption of the line.
+     */
+    void
+    setFaultInjector(FaultInjector *f, unsigned node)
+    {
+        _faults = f;
+        _faultNode = node;
+    }
+
+    /** Transient channel stall: channel busy for @p dur from now. */
+    void stallChannel(Tick dur);
+
     void regStats(StatGroup &parent);
 
     Scalar statReads;
@@ -124,6 +139,8 @@ class MemCtrl : public SimObject
     void pump();
 
     BackingStore &_store;
+    FaultInjector *_faults = nullptr;
+    unsigned _faultNode = 0;
     RdramChannel _chan;
     RingBuffer<Op> _queue;
     Tick _freeAt = 0;          //!< channel busy until this tick

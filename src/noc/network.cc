@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <deque>
 
+#if PIRANHA_FAULT_INJECT
+#include "fault/injector.h"
+#endif
+
 namespace piranha {
 
 Network::Network(EventQueue &eq, std::string name, const NetworkParams &p)
@@ -78,6 +82,14 @@ Network::finalizeRoutes()
 void
 Network::inject(NetPacket pkt)
 {
+#if PIRANHA_FAULT_INJECT
+    // Armed inter-chip faults consume the next injection: drop (the
+    // injector re-injects after its retry timeout, modeling the
+    // protocol's timeout-and-retry), duplicate (tagged copy follows;
+    // the receive filter below discards the second arrival), or delay.
+    if (_faults && !_faults->netInjectHook(*this, pkt))
+        return;
+#endif
     ++statPackets;
     if (pkt.isLong())
         ++statLongPackets;
@@ -97,6 +109,13 @@ Network::hop(NetPacket pkt, NodeId at, Tick injected)
 {
     Node &node = _nodes.at(at);
     if (pkt.dst == at) {
+#if PIRANHA_FAULT_INJECT
+        // Receiver-side duplicate filter: hardware interfaces drop a
+        // packet whose sequence number was already accepted.
+        if (_faults && pkt.faultSeq &&
+            !_faults->netDeliverFilter(pkt))
+            return;
+#endif
         // Input queue: interpret the type field through the
         // disposition vector and hand to the target module.
         statLatency.sample(

@@ -70,6 +70,13 @@ class Network : public SimObject
     /** Inject a packet from @p src's output queue. */
     void inject(NetPacket pkt);
 
+    /**
+     * Fault injection (src/fault/): inject() offers each packet to
+     * the injector (drop / duplicate / delay); terminal delivery runs
+     * a receiver-side filter that discards duplicate arrivals.
+     */
+    void setFaultInjector(FaultInjector *f) { _faults = f; }
+
     /** Convenience topology builders. */
     static void buildFullyConnected(Network &net);
     static void buildRing(Network &net);
@@ -102,6 +109,7 @@ class Network : public SimObject
     Tick icCycles(unsigned n) const;
 
     NetworkParams _p;
+    FaultInjector *_faults = nullptr;
     std::unordered_map<NodeId, Node> _nodes;
     Pcg32 _rng{0x9142a4a, 42}; // deterministic misrouting
     StatGroup _stats{"network"};

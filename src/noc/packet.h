@@ -93,6 +93,13 @@ struct NetPacket
     std::uint64_t reqId = 0;
     unsigned age = 0; //!< hot-potato misroute count (priority aging)
 
+    /**
+     * Non-zero on a packet duplicated by fault injection: both copies
+     * carry the same sequence, and the receiver-side filter drops the
+     * second arrival (src/fault/). Zero on all normal packets.
+     */
+    std::uint64_t faultSeq = 0;
+
     /** Short packets are 128 bits; Long adds a 512-bit data section. */
     bool isLong() const { return hasData; }
 

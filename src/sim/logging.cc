@@ -30,6 +30,24 @@ strFormat(const char *fmt, ...)
     return s;
 }
 
+namespace {
+thread_local bool panic_throws = false;
+} // namespace
+
+bool
+setPanicThrows(bool enabled)
+{
+    bool prev = panic_throws;
+    panic_throws = enabled;
+    return prev;
+}
+
+bool
+panicThrows()
+{
+    return panic_throws;
+}
+
 void
 panic(const char *fmt, ...)
 {
@@ -37,6 +55,8 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = strVFormat(fmt, ap);
     va_end(ap);
+    if (panic_throws)
+        throw SimError("panic: " + s);
     std::fprintf(stderr, "panic: %s\n", s.c_str());
     std::abort();
 }

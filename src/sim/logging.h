@@ -13,9 +13,48 @@
 #define PIRANHA_SIM_LOGGING_H
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace piranha {
+
+/**
+ * Thrown by panic() instead of aborting when panic-throws mode is
+ * enabled on the current thread (setPanicThrows). Campaign and sweep
+ * jobs run whole simulations that injected faults can drive into
+ * states the protocol treats as impossible; those must surface as an
+ * isolated failed job, not kill the host process.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Per-thread switch: when true, panic() throws SimError instead of
+ * aborting. Returns the previous value so callers can restore it.
+ */
+bool setPanicThrows(bool enabled);
+
+/** Current panic-throws setting for this thread. */
+bool panicThrows();
+
+/** RAII guard enabling panic-throws for a scope. */
+class PanicThrowsGuard
+{
+  public:
+    PanicThrowsGuard() : _prev(setPanicThrows(true)) {}
+    ~PanicThrowsGuard() { setPanicThrows(_prev); }
+    PanicThrowsGuard(const PanicThrowsGuard &) = delete;
+    PanicThrowsGuard &operator=(const PanicThrowsGuard &) = delete;
+
+  private:
+    bool _prev;
+};
 
 /** Abort with a formatted message; use for simulator bugs. */
 [[noreturn]] void panic(const char *fmt, ...)

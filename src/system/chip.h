@@ -51,6 +51,14 @@ struct ChipParams
     CoherenceTracer *tracer = nullptr;
     FaultState *faults = nullptr;
 
+    /**
+     * Optional fault injector (src/fault/), owned by the system.
+     * Propagated into every L1, L2 bank, memory controller and the
+     * ICS. Null = no injection (the hooks cost one predictable
+     * branch); ignored entirely when PIRANHA_FAULTS=OFF.
+     */
+    FaultInjector *injector = nullptr;
+
     ChipParams()
     {
         l1i.isInstr = true;

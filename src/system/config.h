@@ -26,6 +26,7 @@
 #include <string>
 
 #include "cpu/core.h"
+#include "fault/fault_plan.h"
 #include "system/chip.h"
 
 namespace piranha {
@@ -38,6 +39,16 @@ struct SystemConfig
     unsigned cpusPerChip = 8;
     ChipParams chip{};
     CoreParams core{};
+
+    /**
+     * Fault-injection plan (src/fault/). Disabled by default; a
+     * config whose plan never fires builds a system bit-identical to
+     * one without the fault subsystem compiled in at all.
+     */
+    FaultPlanConfig faults{};
+
+    /** Forward-progress watchdog polled by PiranhaSystem::run. */
+    WatchdogConfig watchdog{};
 };
 
 /** The Piranha prototype: 8 simple 500 MHz cores per chip (P8). */

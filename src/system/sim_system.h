@@ -65,6 +65,37 @@ struct RunResult
     /** True when the run was stopped by an abort check or max_time. */
     bool aborted = false;
 
+    // ------------------------------------------------------------------
+    // Robustness instrumentation (src/fault/). Host-side like the
+    // fast-path counters: never part of the bit-identity stat set; a
+    // plain run (or a zero-fault plan) reports all-zero/false here
+    // while producing an identical stat tree.
+
+    /** Snapshot of the injector's counters (zeros on plain runs). */
+    FaultCounters faults;
+
+    /** Faults that actually fired (empty on plain runs). */
+    std::vector<FiredFault> firedFaults;
+
+    /** A detected unrecoverable error stopped the run. */
+    bool machineCheck = false;
+    std::string machineCheckReason;
+
+    /**
+     * The forward-progress watchdog stopped the run: no instruction
+     * retired for WatchdogConfig::stallLimit of simulated time (or
+     * the event queue drained) while cores still had work.
+     */
+    bool watchdogTripped = false;
+    std::string watchdogReason;
+
+    /**
+     * Diagnostic state dump captured when the watchdog trips or
+     * max_time hits: outstanding TSRF entries, busy L2 lines, ICS
+     * queue depths, per-core completion (DESIGN.md §9).
+     */
+    std::string watchdogDump;
+
     /** Work per second of simulated time (throughput). */
     double
     throughput() const
@@ -81,6 +112,7 @@ class PiranhaSystem
 {
   public:
     explicit PiranhaSystem(const SystemConfig &cfg);
+    ~PiranhaSystem();
 
     /**
      * Run @p work_per_cpu work units on every CPU of the system and
@@ -101,6 +133,15 @@ class PiranhaSystem
     EventQueue &eventQueue() { return _eq; }
     StatGroup &stats() { return _stats; }
 
+#if PIRANHA_FAULT_INJECT
+    /** The run's fault injector; null unless the config carries an
+     *  enabled plan (tests inspect counters mid-run through this). */
+    FaultInjector *injector() { return _injector.get(); }
+#endif
+
+    /** Diagnostic state dump (watchdog / max_time; DESIGN.md §9). */
+    std::string diagnosticDump(const std::string &why) const;
+
   private:
     SystemConfig _cfg;
     EventQueue _eq;
@@ -109,6 +150,9 @@ class PiranhaSystem
     std::vector<std::unique_ptr<PiranhaChip>> _chips;
     std::vector<std::unique_ptr<Core>> _cores;
     std::vector<std::unique_ptr<InstrStream>> _streams;
+#if PIRANHA_FAULT_INJECT
+    std::unique_ptr<FaultInjector> _injector;
+#endif
     StatGroup _stats{"system"};
 };
 

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem (src/fault/): per-category
+ * outcome classes, campaign determinism, the zero-fault bit-identity
+ * guarantee, the forward-progress watchdog, and the sweep harness's
+ * retry and cancellation machinery the campaigns ride on.
+ *
+ * The seeded expectations (seed N of workload W lands in outcome O)
+ * are deterministic by construction: a campaign run is a pure
+ * function of (config, plan seed), so these pin exact behaviour, not
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/piranha.h"
+
+namespace piranha {
+namespace {
+
+WorkloadFactory
+oltpFactory()
+{
+    return [] { return std::make_unique<OltpWorkload>(); };
+}
+
+CampaignSpec
+smallCampaign(FaultKind kind, unsigned count, std::uint64_t work,
+              unsigned nodes = 1)
+{
+    CampaignSpec spec;
+    spec.name = "test";
+    spec.config = configP8(nodes);
+    spec.workload = WorkloadDecl{"OLTP", oltpFactory(), work};
+    spec.injections = 1;
+    spec.planTemplate.count = count;
+    spec.planTemplate.kinds = {kind};
+    return spec;
+}
+
+SweepOptions
+serialOpts()
+{
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.captureStatTree = false;
+    return opts;
+}
+
+// ---------------------------------------------------------------------
+// Zero-fault bit-identity: carrying a fault plan that never fires must
+// not perturb the simulation in any observable way.
+
+TEST(FaultIdentity, DormantPlanIsStatTreeIdentical)
+{
+    auto run_one = [](SystemConfig cfg) {
+        PiranhaSystem sys(cfg);
+        OltpWorkload wl;
+        RunResult r = sys.run(wl, 24);
+        return std::make_pair(flattenRunResult(r),
+                              statGroupToJson(sys.stats()).dump(0));
+    };
+
+    auto plain = run_one(configPn(2));
+
+    // Enabled plan, zero faults drawn: no injector is even built.
+    SystemConfig zero = configPn(2);
+    zero.faults.enabled = true;
+    zero.faults.count = 0;
+    auto dormant = run_one(zero);
+    EXPECT_EQ(plain.first, dormant.first);
+    EXPECT_EQ(plain.second, dormant.second);
+
+#if PIRANHA_FAULT_INJECT
+    // Armed plan whose window opens long after the run ends: the
+    // injector and every hook are live, but nothing fires — the hooks
+    // themselves must be non-perturbing.
+    SystemConfig armed = configPn(2);
+    armed.faults.enabled = true;
+    armed.faults.count = 1;
+    armed.faults.windowStart = 1000ull * 1000 * 1000 * ticksPerUs;
+    armed.faults.windowEnd = armed.faults.windowStart + ticksPerUs;
+    auto never = run_one(armed);
+    EXPECT_EQ(plain.first, never.first);
+    EXPECT_EQ(plain.second, never.second);
+#endif
+}
+
+TEST(FaultIdentity, ZeroFaultCampaignMatchesPlainRun)
+{
+    SystemConfig cfg = configPn(2);
+    PiranhaSystem sys(cfg);
+    OltpWorkload wl;
+    RunResult plain = sys.run(wl, 24);
+
+    CampaignSpec spec;
+    spec.name = "zero";
+    spec.config = configPn(2);
+    spec.workload = WorkloadDecl{"OLTP", oltpFactory(),
+                                 24 * sys.totalCpus()};
+    spec.injections = 1;
+    spec.planTemplate.count = 0;
+    CampaignReport rep = CampaignRunner(serialOpts()).run(spec);
+    ASSERT_EQ(rep.runs.size(), 1u);
+    EXPECT_EQ(rep.runs[0].outcome, FaultOutcome::NotFired);
+    EXPECT_EQ(rep.runs[0].stats, flattenRunResult(plain));
+}
+
+// ---------------------------------------------------------------------
+// Watchdog / max-cycle guard at the PiranhaSystem::run entry point.
+
+TEST(Watchdog, MaxTimeAbortProducesDiagnosticDump)
+{
+    SystemConfig cfg = configPn(2);
+    PiranhaSystem sys(cfg);
+    OltpWorkload wl;
+    // Far more work than fits in the simulated-time bound: the guard
+    // must stop the run and attach the diagnostic dump instead of
+    // spinning until the ctest timeout.
+    RunResult r = sys.run(wl, 1u << 20, 5 * ticksPerUs);
+    EXPECT_TRUE(r.aborted);
+    EXPECT_FALSE(r.watchdogTripped);
+    EXPECT_NE(r.watchdogDump.find("max_time"), std::string::npos);
+    EXPECT_NE(r.watchdogDump.find("cores:"), std::string::npos);
+}
+
+#if !PIRANHA_FAULT_INJECT
+
+TEST(FaultPlan, IgnoredCleanlyWhenCompiledOut)
+{
+    SystemConfig cfg = configPn(2);
+    cfg.faults.enabled = true;
+    cfg.faults.count = 4;
+    PiranhaSystem sys(cfg);
+    OltpWorkload wl;
+    RunResult r = sys.run(wl, 24);
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.faults.fired, 0u);
+    EXPECT_TRUE(r.firedFaults.empty());
+}
+
+#else // PIRANHA_FAULT_INJECT
+
+// ---------------------------------------------------------------------
+// One pinned seed per outcome category. Classification precedence and
+// the per-category recovery machinery are all exercised end-to-end.
+
+TEST(FaultOutcomes, EccCorrectableCorrectsAndScrubs)
+{
+    CampaignSpec spec = smallCampaign(FaultKind::MemDataFlip, 1, 2048);
+    spec.baseSeed = 4;
+    CampaignReport rep = CampaignRunner(serialOpts()).run(spec);
+    ASSERT_EQ(rep.runs.size(), 1u);
+    const InjectionRecord &r = rep.runs[0];
+    EXPECT_EQ(r.outcome, FaultOutcome::Corrected)
+        << faultOutcomeName(r.outcome) << ": " << r.detail;
+    EXPECT_GE(r.counters.eccCorrectedData, 1u);
+    EXPECT_GE(r.counters.scrubWrites, 1u);
+    EXPECT_EQ(r.counters.machineChecks, 0u);
+}
+
+TEST(FaultOutcomes, EccUncorrectableRaisesMachineCheck)
+{
+    CampaignSpec spec =
+        smallCampaign(FaultKind::MemDataDoubleFlip, 8, 2048);
+    spec.baseSeed = 1;
+    CampaignReport rep = CampaignRunner(serialOpts()).run(spec);
+    ASSERT_EQ(rep.runs.size(), 1u);
+    const InjectionRecord &r = rep.runs[0];
+    EXPECT_EQ(r.outcome, FaultOutcome::Detected)
+        << faultOutcomeName(r.outcome) << ": " << r.detail;
+    EXPECT_GE(r.counters.eccUncorrectable, 1u);
+    EXPECT_GE(r.counters.machineChecks, 1u);
+    EXPECT_NE(r.detail.find("uncorrectable ECC"), std::string::npos);
+}
+
+TEST(FaultOutcomes, LostInterChipPacketRecoversByRetransmit)
+{
+    CampaignSpec spec = smallCampaign(FaultKind::NetDrop, 4, 512, 2);
+    spec.baseSeed = 1;
+    CampaignReport rep = CampaignRunner(serialOpts()).run(spec);
+    ASSERT_EQ(rep.runs.size(), 1u);
+    const InjectionRecord &r = rep.runs[0];
+    EXPECT_EQ(r.outcome, FaultOutcome::Recovered)
+        << faultOutcomeName(r.outcome) << ": " << r.detail;
+    EXPECT_GE(r.counters.netDropped, 1u);
+    EXPECT_GE(r.counters.netRetransmits, 1u);
+    EXPECT_EQ(r.counters.netDropped, r.counters.netRetransmits);
+}
+
+TEST(FaultOutcomes, L1ParityRecoversByRefetch)
+{
+    CampaignSpec spec = smallCampaign(FaultKind::L1DataFlip, 24, 1024);
+    spec.baseSeed = 1;
+    CampaignReport rep = CampaignRunner(serialOpts()).run(spec);
+    ASSERT_EQ(rep.runs.size(), 1u);
+    const InjectionRecord &r = rep.runs[0];
+    EXPECT_EQ(r.outcome, FaultOutcome::Recovered)
+        << faultOutcomeName(r.outcome) << ": " << r.detail;
+    EXPECT_GE(r.counters.l1ParityRefetch, 1u);
+}
+
+TEST(FaultOutcomes, L2ParityRecoversByRefetch)
+{
+    CampaignSpec spec = smallCampaign(FaultKind::L2DataFlip, 24, 1024);
+    spec.baseSeed = 1;
+    CampaignReport rep = CampaignRunner(serialOpts()).run(spec);
+    ASSERT_EQ(rep.runs.size(), 1u);
+    const InjectionRecord &r = rep.runs[0];
+    EXPECT_EQ(r.outcome, FaultOutcome::Recovered)
+        << faultOutcomeName(r.outcome) << ": " << r.detail;
+    EXPECT_GE(r.counters.l2ParityRefetch, 1u);
+}
+
+TEST(FaultOutcomes, DroppedIcsMessageHangsAndWatchdogDumps)
+{
+    CampaignSpec spec = smallCampaign(FaultKind::IcsDrop, 1, 256);
+    spec.baseSeed = 3;
+    CampaignReport rep = CampaignRunner(serialOpts()).run(spec);
+    ASSERT_EQ(rep.runs.size(), 1u);
+    const InjectionRecord &r = rep.runs[0];
+    EXPECT_EQ(r.outcome, FaultOutcome::Hang)
+        << faultOutcomeName(r.outcome) << ": " << r.detail;
+    // The wedge was caught by the watchdog's dump, not a timeout: the
+    // dump names the cause and shows the per-core completion state
+    // and the fault that did it.
+    EXPECT_NE(r.watchdogDump.find("diagnostic dump"),
+              std::string::npos);
+    EXPECT_NE(r.watchdogDump.find("cores:"), std::string::npos);
+    EXPECT_NE(r.watchdogDump.find("ics_drop"), std::string::npos);
+    EXPECT_GE(r.counters.icsDropped, 1u);
+}
+
+// Same wedge driven directly through PiranhaSystem::run, proving the
+// watchdog is wired into the entry point itself (not just campaigns).
+TEST(Watchdog, WedgedRunTripsInsteadOfSpinning)
+{
+    SystemConfig cfg = configP8();
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 3;
+    cfg.faults.count = 1;
+    cfg.faults.kinds = {FaultKind::IcsDrop};
+    PiranhaSystem sys(cfg);
+    OltpWorkload wl;
+    RunResult r = sys.run(wl, 32);
+    EXPECT_TRUE(r.aborted);
+    EXPECT_TRUE(r.watchdogTripped);
+    EXPECT_FALSE(r.watchdogReason.empty());
+    EXPECT_NE(r.watchdogDump.find("watchdog"), std::string::npos);
+    ASSERT_EQ(r.firedFaults.size(), 1u);
+    EXPECT_EQ(r.firedFaults[0].kind, FaultKind::IcsDrop);
+}
+
+// ---------------------------------------------------------------------
+// Campaign determinism and reporting.
+
+TEST(Campaign, HistogramReproducesAcrossRuns)
+{
+    CampaignSpec spec;
+    spec.name = "repro";
+    spec.config = configP8();
+    spec.workload = WorkloadDecl{"OLTP", oltpFactory(), 256};
+    spec.injections = 6;
+    spec.planTemplate.count = 1; // kinds empty: drawn from all
+    CampaignReport a = CampaignRunner(serialOpts()).run(spec);
+    SweepOptions par = serialOpts();
+    par.threads = 3; // determinism must survive the thread pool
+    CampaignReport b = CampaignRunner(par).run(spec);
+
+    ASSERT_EQ(a.runs.size(), 6u);
+    ASSERT_EQ(b.runs.size(), 6u);
+    EXPECT_EQ(a.histogram(), b.histogram());
+    for (unsigned i = 0; i < 6; ++i) {
+        EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome) << "run " << i;
+        EXPECT_EQ(a.runs[i].counters.fired, b.runs[i].counters.fired);
+        EXPECT_EQ(a.runs[i].stats, b.runs[i].stats) << "run " << i;
+        EXPECT_EQ(a.runs[i].detail, b.runs[i].detail) << "run " << i;
+    }
+}
+
+TEST(Campaign, JsonReportIsCompleteAndWritable)
+{
+    CampaignSpec spec = smallCampaign(FaultKind::MemCheckFlip, 4, 512);
+    spec.injections = 2;
+    CampaignReport rep = CampaignRunner(serialOpts()).run(spec);
+
+    JsonValue j = rep.toJson();
+    std::string s = j.dump(2);
+    EXPECT_NE(s.find("\"campaign\""), std::string::npos);
+    EXPECT_NE(s.find("\"histogram\""), std::string::npos);
+    EXPECT_NE(s.find("\"outcome\""), std::string::npos);
+    EXPECT_NE(s.find("\"seed\""), std::string::npos);
+
+    std::string path = "fault_campaign_report_test.json";
+    ASSERT_TRUE(rep.writeJsonFile(path));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("\"runs\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+#endif // PIRANHA_FAULT_INJECT
+
+// ---------------------------------------------------------------------
+// Sweep-harness machinery the campaigns ride on (compiled both ways).
+
+TEST(SweepRetry, TransientFailuresRetryUpToMaxAttempts)
+{
+    auto attempts_seen = std::make_shared<std::atomic<int>>(0);
+    SweepPoint pt;
+    pt.label = "flaky";
+    pt.custom = [attempts_seen]() -> CustomResult {
+        if (attempts_seen->fetch_add(1) < 2)
+            throw TransientError("flaky host resource");
+        CustomResult cr;
+        cr.stats["value"] = 42;
+        return cr;
+    };
+    SweepOptions opts = serialOpts();
+    opts.maxAttempts = 3;
+    opts.retryBackoffSec = 0; // no need to sleep in tests
+    SweepReport rep = SweepRunner(opts).run("retry", {pt});
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_EQ(rep.jobs[0].status, JobStatus::Ok);
+    EXPECT_EQ(rep.jobs[0].attempts, 3u);
+    EXPECT_EQ(rep.jobs[0].stats.at("value"), 42);
+    // The report records the attempt count.
+    EXPECT_NE(rep.toJson(false).dump(0).find("\"attempts\""),
+              std::string::npos);
+}
+
+TEST(SweepRetry, ExhaustedAttemptsFail)
+{
+    SweepPoint pt;
+    pt.label = "always-flaky";
+    pt.custom = []() -> CustomResult {
+        throw TransientError("never recovers");
+    };
+    SweepOptions opts = serialOpts();
+    opts.maxAttempts = 2;
+    opts.retryBackoffSec = 0;
+    SweepReport rep = SweepRunner(opts).run("retry", {pt});
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_EQ(rep.jobs[0].status, JobStatus::Failed);
+    EXPECT_EQ(rep.jobs[0].attempts, 2u);
+    EXPECT_EQ(rep.jobs[0].error, "never recovers");
+}
+
+TEST(SweepRetry, DeterministicFailuresAreNeverRetried)
+{
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    SweepPoint pt;
+    pt.label = "deterministic";
+    pt.custom = [calls]() -> CustomResult {
+        calls->fetch_add(1);
+        throw std::runtime_error("same universe, same bug");
+    };
+    SweepOptions opts = serialOpts();
+    opts.maxAttempts = 5;
+    opts.retryBackoffSec = 0;
+    SweepReport rep = SweepRunner(opts).run("retry", {pt});
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_EQ(rep.jobs[0].status, JobStatus::Failed);
+    EXPECT_EQ(rep.jobs[0].attempts, 1u);
+    EXPECT_EQ(calls->load(), 1);
+}
+
+TEST(SweepCancel, GracefulDrainMarksQueuedJobsCancelled)
+{
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    std::vector<SweepPoint> pts(3);
+    for (unsigned i = 0; i < 3; ++i)
+        pts[i].label = "job" + std::to_string(i);
+    // The first job "receives the SIGINT" while running; with one
+    // worker thread the remaining queued jobs must drain as
+    // Cancelled without executing.
+    auto ran = std::make_shared<std::atomic<int>>(0);
+    pts[0].custom = [cancel, ran]() -> CustomResult {
+        ran->fetch_add(1);
+        cancel->store(true);
+        return CustomResult{};
+    };
+    pts[1].custom = pts[2].custom = [ran]() -> CustomResult {
+        ran->fetch_add(1);
+        return CustomResult{};
+    };
+    SweepOptions opts = serialOpts();
+    opts.cancel = cancel.get();
+    SweepReport rep = SweepRunner(opts).run("drain", pts);
+
+    ASSERT_EQ(rep.jobs.size(), 3u);
+    EXPECT_EQ(rep.jobs[0].status, JobStatus::Ok);
+    EXPECT_EQ(rep.jobs[1].status, JobStatus::Cancelled);
+    EXPECT_EQ(rep.jobs[2].status, JobStatus::Cancelled);
+    EXPECT_EQ(rep.jobs[1].label, "job1");
+    EXPECT_TRUE(rep.interrupted);
+    EXPECT_EQ(ran->load(), 1);
+
+    // The partial report is still a complete JSON document.
+    JsonValue j = rep.toJson(false);
+    std::string s = j.dump(0);
+    EXPECT_NE(s.find("\"interrupted\":true"), std::string::npos);
+    EXPECT_NE(s.find("\"jobs_cancelled\":2"), std::string::npos);
+}
+
+} // namespace
+} // namespace piranha
