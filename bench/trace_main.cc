@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Trace-file inspection CLI (DESIGN.md §10).
+ *
+ * Usage:
+ *   trace_main info FILE...       dump header + per-CPU totals
+ *   trace_main stats FILE...      per-CPU dynamic-op histograms
+ *   trace_main validate FILE...   deep integrity check; exit 1 when
+ *                                 any file is truncated or corrupt
+ *
+ * `validate` is the CI gate for record-buffer hygiene: a recording
+ * cut before finalize has no trailer and is reported as truncated,
+ * never silently replayed.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/piranha.h"
+
+using namespace piranha;
+
+namespace {
+
+const char *
+opKindName(std::uint8_t kind)
+{
+    switch (static_cast<StreamOp::Kind>(kind)) {
+      case StreamOp::Kind::Compute: return "compute";
+      case StreamOp::Kind::Load: return "load";
+      case StreamOp::Kind::Store: return "store";
+      case StreamOp::Kind::Wh64: return "wh64";
+      case StreamOp::Kind::Idle: return "idle";
+      case StreamOp::Kind::Done: return "done";
+    }
+    return "?";
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    TraceReader r(path);
+    const TraceFileHeader &h = r.header();
+    std::printf("%s:\n", path.c_str());
+    std::printf("  version   %u  (record %u B, header %u B)\n",
+                h.version, h.recordBytes, h.headerBytes);
+    std::printf("  topology  %u node(s) x %u CPU(s) = %u streams\n",
+                h.nodes, h.cpusPerChip, h.nCpus);
+    std::printf("  workload  %s  (seed %" PRIu64
+                ", ilp %.2f, overlap %.2f)\n",
+                r.workloadName().c_str(), h.seed, h.issueIlp,
+                h.memOverlap);
+    std::printf("  config    %s\n", r.configName().c_str());
+    if (!r.label().empty())
+        std::printf("  label     %s\n", r.label().c_str());
+    std::printf("  work/cpu  %" PRIu64 "\n", h.workPerCpu);
+    std::printf("  records   %" PRIu64 " total\n", r.totalRecords());
+    for (unsigned cpu = 0; cpu < r.nCpus(); ++cpu) {
+        const TraceCpuFooter &f = r.cpuFooter(cpu);
+        std::printf("    cpu%-3u %10" PRIu64 " records  %10" PRIu64
+                    " B  work %-8" PRIu64 " span %" PRIu64 " ps\n",
+                    cpu, f.records, f.bytes, f.finalWork, f.tickSpan);
+    }
+    return 0;
+}
+
+int
+cmdStats(const std::string &path)
+{
+    TraceReader r(path);
+    std::printf("%s: per-CPU dynamic-op histogram\n", path.c_str());
+    std::uint64_t agg[6] = {};
+    std::uint64_t agg_instrs = 0, agg_idle = 0;
+    for (unsigned cpu = 0; cpu < r.nCpus(); ++cpu) {
+        std::uint64_t hist[6] = {};
+        std::uint64_t instrs = 0, idle_cycles = 0;
+        TraceReader::Cursor cur = r.cursor(cpu);
+        TraceRecord rec;
+        while (cur.next(rec)) {
+            if (rec.kind < 6)
+                ++hist[rec.kind];
+            if (static_cast<StreamOp::Kind>(rec.kind) ==
+                StreamOp::Kind::Compute)
+                instrs += rec.count;
+            else if (static_cast<StreamOp::Kind>(rec.kind) ==
+                     StreamOp::Kind::Idle)
+                idle_cycles += rec.count;
+            else if (static_cast<StreamOp::Kind>(rec.kind) !=
+                     StreamOp::Kind::Done)
+                instrs += 1; // each memory op is one instruction
+        }
+        std::printf("  cpu%-3u", cpu);
+        for (unsigned k = 0; k < 6; ++k) {
+            std::printf(" %s %" PRIu64, opKindName(k), hist[k]);
+            agg[k] += hist[k];
+        }
+        std::printf("  (instrs %" PRIu64 ", idle %" PRIu64 " cy)\n",
+                    instrs, idle_cycles);
+        agg_instrs += instrs;
+        agg_idle += idle_cycles;
+    }
+    std::printf("  total ");
+    for (unsigned k = 0; k < 6; ++k)
+        std::printf(" %s %" PRIu64, opKindName(k), agg[k]);
+    std::printf("  (instrs %" PRIu64 ", idle %" PRIu64 " cy)\n",
+                agg_instrs, agg_idle);
+    return 0;
+}
+
+int
+cmdValidate(const std::string &path)
+{
+    TraceReader::ValidateReport rep = TraceReader::validateFile(path);
+    if (rep.ok()) {
+        std::printf("%s: ok (%" PRIu64 " records)\n", path.c_str(),
+                    rep.totalRecords);
+        return 0;
+    }
+    std::printf("%s: %s\n", path.c_str(),
+                rep.truncated ? "TRUNCATED" : "INVALID");
+    for (const std::string &p : rep.problems)
+        std::printf("  %s\n", p.c_str());
+    return 1;
+}
+
+int
+usage()
+{
+    std::cerr << "usage: trace_main <info|stats|validate> FILE...\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string cmd = argv[1];
+    int rc = 0;
+    for (int i = 2; i < argc; ++i) {
+        std::string path = argv[i];
+        try {
+            if (cmd == "info")
+                rc |= cmdInfo(path);
+            else if (cmd == "stats")
+                rc |= cmdStats(path);
+            else if (cmd == "validate")
+                rc |= cmdValidate(path);
+            else
+                return usage();
+        } catch (const std::exception &e) {
+            std::printf("%s: ERROR %s\n", path.c_str(), e.what());
+            rc = 1;
+        }
+    }
+    return rc;
+}

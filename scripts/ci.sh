@@ -24,11 +24,20 @@
 #                                     histogram must match exactly;
 #                                     writes CAMPAIGN_ci.json as an
 #                                     artifact
+#   scripts/ci.sh trace [build-dir]   build + tests, then record the
+#                                     quick sweep (--record), replay it
+#                                     (--replay) and assert the stat
+#                                     maps and stat trees are
+#                                     bit-identical per job (DESIGN.md
+#                                     §10); validate every trace file,
+#                                     prove a deliberately cut file is
+#                                     rejected, and run the replay
+#                                     throughput bench
 set -euo pipefail
 
 MODE=tier1
 case "${1:-}" in
-  asan|perf|faults)
+  asan|perf|faults|trace)
     MODE=$1
     shift
     ;;
@@ -38,6 +47,7 @@ DEFAULT_DIR=build-ci
 [[ "$MODE" == "asan" ]] && DEFAULT_DIR=build-asan
 [[ "$MODE" == "perf" ]] && DEFAULT_DIR=build-perf
 [[ "$MODE" == "faults" ]] && DEFAULT_DIR=build-faults
+[[ "$MODE" == "trace" ]] && DEFAULT_DIR=build-trace
 BUILD_DIR="${1:-$DEFAULT_DIR}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
@@ -55,6 +65,11 @@ cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
     "${EXTRA[@]+"${EXTRA[@]}"}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Trace files are run artifacts, not build products: sweep aborts and
+# bench crashes can strand them in the build tree, and they must not
+# accumulate or leak into uploaded artifacts.
+find "$BUILD_DIR" -name '*.ptrace' -delete
 
 if [[ "$MODE" == "asan" ]]; then
     # Drive the protocol+tracer under the sanitizers from outside the
@@ -89,6 +104,65 @@ if not all("diagnostic dump" in r.get("watchdog_dump", "") for r in hangs):
     sys.exit(1)
 print("campaign histogram matches the pinned expectation")
 PYEOF
+fi
+
+if [[ "$MODE" == "trace" ]]; then
+    # Record → replay round trip through the sweep harness. The quick
+    # sweep covers P1..P8 on both OLTP and DSS, so the short P8/OLTP
+    # run the gate cares about is captured along with seven siblings.
+    TRACE_DIR="$BUILD_DIR/traces"
+    rm -rf "$TRACE_DIR"
+    "$BUILD_DIR"/bench/sweep_main quick --threads 4 \
+        --record "$TRACE_DIR" --json TRACE_live.json
+    "$BUILD_DIR"/bench/sweep_main --replay "$TRACE_DIR" --threads 4 \
+        --json TRACE_replay.json
+
+    # Gating: per-label stats AND the full stat tree bit-identical.
+    python3 - <<'PYEOF'
+import json, sys
+live = {j["label"]: j
+        for j in json.load(open("TRACE_live.json"))["jobs"]}
+rep = {j["label"]: j
+       for j in json.load(open("TRACE_replay.json"))["jobs"]}
+if set(live) != set(rep):
+    print(f"FAIL: job labels differ: {sorted(set(live) ^ set(rep))}",
+          file=sys.stderr)
+    sys.exit(1)
+bad = 0
+for label in sorted(live):
+    lj, rj = live[label], rep[label]
+    if lj["stats"] != rj["stats"]:
+        print(f"FAIL: {label}: replayed stats diverge from the live "
+              f"run", file=sys.stderr)
+        bad += 1
+    elif lj.get("stat_tree") != rj.get("stat_tree"):
+        print(f"FAIL: {label}: replayed stat tree diverges from the "
+              f"live run", file=sys.stderr)
+        bad += 1
+if bad:
+    sys.exit(1)
+print(f"{len(live)} jobs replayed bit-identically")
+PYEOF
+
+    # Every recorded file must pass the deep validator...
+    "$BUILD_DIR"/bench/trace_main validate "$TRACE_DIR"/*.ptrace
+
+    # ...and a deliberately cut recording must be rejected: a trace
+    # without its finalize trailer can never be mistaken for complete.
+    first="$(ls "$TRACE_DIR"/*.ptrace | head -n 1)"
+    head -c 1000 "$first" > "$TRACE_DIR/cut.ptrace"
+    if "$BUILD_DIR"/bench/trace_main validate "$TRACE_DIR/cut.ptrace"
+    then
+        echo "FAIL: validate accepted a truncated trace" >&2
+        exit 1
+    fi
+    echo "truncated trace correctly rejected"
+    rm -f "$TRACE_DIR/cut.ptrace"
+
+    # Replay throughput vs live generation. The identity check inside
+    # the bench is gating; the timing numbers are advisory (see
+    # BENCH_trace.json for the committed reference).
+    "$BUILD_DIR"/bench/trace_bench --repeat 2 --json BENCH_trace.ci.json
 fi
 
 if [[ "$MODE" == "perf" ]]; then

@@ -10,9 +10,10 @@
  * generator can react to simulated time (spin locks, I/O waits,
  * process switches) with real timing feedback.
  *
- * Two families of streams exist: workload generators (OLTP / DSS /
- * TPC-C synthetics in workload/) and the Alpha-subset ISA interpreter
- * (isa/), which both feed the same timing cores.
+ * Three families of streams exist: workload generators (OLTP / DSS /
+ * TPC-C synthetics in workload/), the Alpha-subset ISA interpreter
+ * (isa/), and recorded-trace replay (trace/), which all feed the same
+ * timing cores.
  */
 
 #ifndef PIRANHA_CPU_INSTR_STREAM_H

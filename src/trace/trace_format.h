@@ -1,0 +1,239 @@
+/**
+ * @file
+ * On-disk layout of binary memory-trace files (DESIGN.md §10).
+ *
+ * A trace file captures the complete dynamic operation sequence every
+ * CPU of one run pulled from its InstrStream, so the run can be
+ * replayed through the full timing model bit-identically without
+ * paying workload-generation cost (ROADMAP item 4; the packed
+ * per-core record stream follows the LogStruct idiom of trace-driven
+ * cache simulators).
+ *
+ * File layout:
+ *
+ *   [TraceFileHeader]                      256 bytes, versioned
+ *   [TraceChunkHeader][records...]  *      per-CPU buffered chunks in
+ *                                          flush order
+ *   [TraceFooterHeader]
+ *   [TraceCpuFooter]     * header.nCpus    per-CPU totals + checksum
+ *   [TraceChunkIndex]    * chunkCount      per-CPU offsets
+ *   [TraceTrailer]                         footer offset + end magic
+ *
+ * Records are fixed-width (40 bytes) and belong to exactly one CPU;
+ * the writer buffers per CPU and flushes whole chunks, so one file
+ * holds every CPU of a run while each CPU's records stay contiguous
+ * within chunks and ordered across them. The footer is written only
+ * by an explicit finalize: a file whose trailer magic is missing is a
+ * truncated recording and must be rejected (TraceReader::validateFile
+ * reports it as such).
+ *
+ * Versioning rules: any change to the structs below bumps
+ * kTraceVersion; readers reject other versions outright (records are
+ * raw memory, there is no tolerant decode path). headerBytes /
+ * recordBytes are stored so a future reader can at least size-check a
+ * foreign version before rejecting it.
+ */
+
+#ifndef PIRANHA_TRACE_TRACE_FORMAT_H
+#define PIRANHA_TRACE_TRACE_FORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "cpu/instr_stream.h"
+#include "sim/types.h"
+
+namespace piranha {
+
+/** Eight-char magic packed little-endian into a u64. */
+constexpr std::uint64_t
+traceMagic(const char (&s)[9])
+{
+    std::uint64_t m = 0;
+    for (int i = 7; i >= 0; --i)
+        m = (m << 8) | static_cast<unsigned char>(s[i]);
+    return m;
+}
+
+inline constexpr std::uint64_t kTraceMagic = traceMagic("PIRTRC01");
+inline constexpr std::uint64_t kTraceFooterMagic =
+    traceMagic("PIRTRCFT");
+inline constexpr std::uint64_t kTraceTrailerMagic =
+    traceMagic("PIRTRCEN");
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/**
+ * One recorded dynamic operation (one InstrStream::next() result).
+ * PC and pull tick are delta-encoded against the previous record of
+ * the same CPU; the work field is the increase of the stream's
+ * workDone() across this pull.
+ */
+struct TraceRecord
+{
+    std::uint8_t kind = 0;      //!< StreamOp::Kind
+    std::uint8_t size = 0;      //!< memory operand size
+    std::uint8_t flags = 0;     //!< kRecFlagAtomic
+    std::uint8_t workDelta = 0; //!< workDone() increase at this pull
+    std::uint32_t count = 0;    //!< Compute/Idle repeat count
+    std::int64_t pcDelta = 0;   //!< pc - previous record's pc
+    std::uint64_t addr = 0;     //!< memory operand address
+    std::uint64_t value = 0;    //!< store data
+    std::uint64_t tickDelta = 0; //!< pull tick - previous pull tick
+};
+static_assert(sizeof(TraceRecord) == 40, "packed trace record");
+
+inline constexpr std::uint8_t kRecFlagAtomic = 1u << 0;
+
+/** Versioned file header: identity, topology, and workload metadata
+ *  sufficient to rebuild the recorded run for replay. */
+struct TraceFileHeader
+{
+    std::uint64_t magic = kTraceMagic;
+    std::uint32_t version = kTraceVersion;
+    std::uint32_t headerBytes = 0; //!< sizeof(TraceFileHeader)
+    std::uint32_t recordBytes = 0; //!< sizeof(TraceRecord)
+    std::uint32_t nodes = 1;       //!< chips in the recorded system
+    std::uint32_t cpusPerChip = 1;
+    std::uint32_t nCpus = 1;       //!< record streams in this file
+    std::uint64_t seed = 0;        //!< workload RNG seed
+    std::uint64_t workPerCpu = 0;  //!< work target of the run
+    double issueIlp = 1.0;         //!< WorkloadIlp of the workload
+    double memOverlap = 0.0;
+    char workload[64] = {};        //!< Workload::name()
+    char config[32] = {};          //!< SystemConfig::name (replay key)
+    char label[64] = {};           //!< sweep job label (informational)
+    std::uint8_t reserved[32] = {};
+};
+static_assert(sizeof(TraceFileHeader) == 256, "stable header layout");
+
+/** Precedes each flushed run of records from one CPU's buffer. */
+struct TraceChunkHeader
+{
+    std::uint32_t cpu = 0;
+    std::uint32_t bytes = 0; //!< record payload bytes that follow
+};
+static_assert(sizeof(TraceChunkHeader) == 8, "aligned chunk header");
+
+struct TraceFooterHeader
+{
+    std::uint64_t magic = kTraceFooterMagic;
+    std::uint32_t version = kTraceVersion;
+    std::uint32_t nCpus = 0;
+    std::uint64_t chunkCount = 0;
+    std::uint64_t totalRecords = 0;
+};
+static_assert(sizeof(TraceFooterHeader) == 32);
+
+/** Per-CPU totals; one per CPU, in CPU order, after the footer
+ *  header. */
+struct TraceCpuFooter
+{
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;     //!< records * sizeof(TraceRecord)
+    std::uint64_t finalWork = 0; //!< workDone() at the last record
+    std::uint64_t tickSpan = 0;  //!< sum of tickDeltas (run duration)
+    std::uint64_t checksum = 0;  //!< FNV-1a over the record bytes
+};
+static_assert(sizeof(TraceCpuFooter) == 40);
+
+/** Locates one chunk's record payload; the index (all chunks in file
+ *  order) lets a reader walk any CPU's stream without scanning. */
+struct TraceChunkIndex
+{
+    std::uint64_t offset = 0; //!< file offset of the record payload
+    std::uint32_t cpu = 0;
+    std::uint32_t bytes = 0;
+};
+static_assert(sizeof(TraceChunkIndex) == 16);
+
+/** Fixed-size trailer at end-of-file; its magic is the witness that
+ *  finalize ran (truncated recordings lack it). */
+struct TraceTrailer
+{
+    std::uint64_t footerOffset = 0;
+    std::uint64_t magic = kTraceTrailerMagic;
+};
+static_assert(sizeof(TraceTrailer) == 16);
+
+inline constexpr std::uint64_t kFnvOffsetBasis =
+    14695981039346656037ull;
+
+/** Incremental FNV-1a (seed with kFnvOffsetBasis). */
+inline std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Encode one pulled operation against the previous record's pc. */
+inline TraceRecord
+encodeOp(const StreamOp &op, Addr prev_pc, Tick tick_delta,
+         std::uint8_t work_delta)
+{
+    TraceRecord r;
+    r.kind = static_cast<std::uint8_t>(op.kind);
+    r.size = op.size;
+    r.flags = op.atomic ? kRecFlagAtomic : 0;
+    r.workDelta = work_delta;
+    r.count = op.count;
+    r.pcDelta = static_cast<std::int64_t>(op.pc - prev_pc);
+    r.addr = op.addr;
+    r.value = op.value;
+    r.tickDelta = static_cast<std::uint64_t>(tick_delta);
+    return r;
+}
+
+/** Decode a record back into the operation it captured. */
+inline StreamOp
+decodeOp(const TraceRecord &r, Addr prev_pc)
+{
+    StreamOp op;
+    op.kind = static_cast<StreamOp::Kind>(r.kind);
+    op.pc = prev_pc + static_cast<Addr>(r.pcDelta);
+    op.count = r.count;
+    op.addr = r.addr;
+    op.size = r.size;
+    op.value = r.value;
+    op.atomic = (r.flags & kRecFlagAtomic) != 0;
+    return op;
+}
+
+/** True when @p kind is a valid StreamOp::Kind encoding. */
+inline bool
+traceKindValid(std::uint8_t kind)
+{
+    return kind <= static_cast<std::uint8_t>(StreamOp::Kind::Done);
+}
+
+/** Copy a std::string into a fixed header field (NUL-padded,
+ *  silently clipped to the field size minus the terminator). */
+template <std::size_t N>
+inline void
+traceSetString(char (&field)[N], const std::string &s)
+{
+    std::memset(field, 0, N);
+    std::size_t n = s.size() < N - 1 ? s.size() : N - 1;
+    std::memcpy(field, s.data(), n);
+}
+
+/** Read a fixed header field back into a std::string. */
+template <std::size_t N>
+inline std::string
+traceGetString(const char (&field)[N])
+{
+    std::size_t n = 0;
+    while (n < N && field[n] != '\0')
+        ++n;
+    return std::string(field, n);
+}
+
+} // namespace piranha
+
+#endif // PIRANHA_TRACE_TRACE_FORMAT_H

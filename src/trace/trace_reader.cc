@@ -1,0 +1,276 @@
+#include "trace/trace_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+TraceReader::TraceReader(const std::string &path) : _path(path)
+{
+    _fd = ::open(path.c_str(), O_RDONLY);
+    if (_fd < 0)
+        throw std::runtime_error("cannot open trace file " + path);
+    struct stat st;
+    if (::fstat(_fd, &st) != 0 || st.st_size < 0) {
+        ::close(_fd);
+        throw std::runtime_error("cannot stat trace file " + path);
+    }
+    _len = static_cast<std::size_t>(st.st_size);
+    if (_len > 0) {
+        void *m = ::mmap(nullptr, _len, PROT_READ, MAP_PRIVATE, _fd, 0);
+        if (m == MAP_FAILED) {
+            ::close(_fd);
+            throw std::runtime_error("cannot mmap trace file " + path);
+        }
+        _base = static_cast<const unsigned char *>(m);
+    }
+    std::vector<std::string> problems;
+    bool truncated = false;
+    if (!parse(problems, truncated)) {
+        std::string what = truncated
+                               ? "truncated trace file (no trailer): "
+                               : "invalid trace file: ";
+        what += path;
+        if (!problems.empty())
+            what += " (" + problems.front() + ")";
+        if (_base)
+            ::munmap(const_cast<unsigned char *>(_base), _len);
+        ::close(_fd);
+        throw std::runtime_error(what);
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (_base)
+        ::munmap(const_cast<unsigned char *>(_base), _len);
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+bool
+TraceReader::parse(std::vector<std::string> &problems, bool &truncated)
+{
+    auto fail = [&](const std::string &p) {
+        problems.push_back(p);
+        return false;
+    };
+    if (_len < sizeof(TraceFileHeader))
+        return truncated = true,
+               fail("file shorter than the header");
+    std::memcpy(&_hdr, filePtr(0), sizeof(_hdr));
+    if (_hdr.magic != kTraceMagic)
+        return fail("bad header magic");
+    if (_hdr.version != kTraceVersion)
+        return fail(strFormat("unsupported trace version %u (reader "
+                              "supports %u)",
+                              _hdr.version, kTraceVersion));
+    if (_hdr.headerBytes != sizeof(TraceFileHeader) ||
+        _hdr.recordBytes != sizeof(TraceRecord))
+        return fail("header/record size mismatch");
+    if (_hdr.nCpus == 0 ||
+        _hdr.nCpus != _hdr.nodes * _hdr.cpusPerChip)
+        return fail("inconsistent topology in header");
+
+    if (_len < sizeof(TraceFileHeader) + sizeof(TraceTrailer))
+        return truncated = true, fail("no trailer: recording was cut "
+                                      "before finalize");
+    TraceTrailer trailer;
+    std::memcpy(&trailer, filePtr(_len - sizeof(trailer)),
+                sizeof(trailer));
+    if (trailer.magic != kTraceTrailerMagic)
+        return truncated = true, fail("no trailer: recording was cut "
+                                      "before finalize");
+    if (trailer.footerOffset < sizeof(TraceFileHeader) ||
+        trailer.footerOffset + sizeof(TraceFooterHeader) >
+            _len - sizeof(trailer))
+        return fail("trailer footer offset out of bounds");
+
+    std::uint64_t off = trailer.footerOffset;
+    std::memcpy(&_footer, filePtr(off), sizeof(_footer));
+    off += sizeof(_footer);
+    if (_footer.magic != kTraceFooterMagic)
+        return fail("bad footer magic");
+    if (_footer.version != kTraceVersion ||
+        _footer.nCpus != _hdr.nCpus)
+        return fail("footer disagrees with header");
+    std::uint64_t need = _footer.nCpus * sizeof(TraceCpuFooter) +
+                         _footer.chunkCount * sizeof(TraceChunkIndex);
+    if (off + need > _len - sizeof(trailer))
+        return fail("footer tables exceed the file");
+
+    _cpuFooters.resize(_footer.nCpus);
+    std::memcpy(_cpuFooters.data(), filePtr(off),
+                _footer.nCpus * sizeof(TraceCpuFooter));
+    off += _footer.nCpus * sizeof(TraceCpuFooter);
+
+    _chunks.assign(_hdr.nCpus, {});
+    std::vector<std::uint64_t> cpu_bytes(_hdr.nCpus, 0);
+    for (std::uint64_t i = 0; i < _footer.chunkCount; ++i) {
+        TraceChunkIndex idx;
+        std::memcpy(&idx, filePtr(off + i * sizeof(idx)), sizeof(idx));
+        if (idx.cpu >= _hdr.nCpus)
+            return fail(strFormat("chunk %llu names cpu %u out of "
+                                  "range",
+                                  (unsigned long long)i, idx.cpu));
+        if (idx.bytes % sizeof(TraceRecord) != 0)
+            return fail("chunk payload not a whole record multiple");
+        if (idx.offset < sizeof(TraceFileHeader) ||
+            idx.offset + idx.bytes > trailer.footerOffset)
+            return fail("chunk payload out of bounds");
+        Chunk c;
+        c.offset = idx.offset;
+        c.bytes = idx.bytes;
+        c.firstRecord = cpu_bytes[idx.cpu] / sizeof(TraceRecord);
+        cpu_bytes[idx.cpu] += idx.bytes;
+        _chunks[idx.cpu].push_back(c);
+    }
+    std::uint64_t total = 0;
+    for (unsigned cpu = 0; cpu < _hdr.nCpus; ++cpu) {
+        const TraceCpuFooter &f = _cpuFooters[cpu];
+        if (f.bytes != cpu_bytes[cpu] ||
+            f.records * sizeof(TraceRecord) != f.bytes)
+            return fail(strFormat("cpu %u footer totals disagree with "
+                                  "the chunk index",
+                                  cpu));
+        total += f.records;
+    }
+    if (total != _footer.totalRecords)
+        return fail("footer record total disagrees with per-cpu "
+                    "footers");
+    return true;
+}
+
+std::uint64_t
+TraceReader::totalRecords() const
+{
+    return _footer.totalRecords;
+}
+
+TraceRecord
+TraceReader::record(unsigned cpu, std::uint64_t i) const
+{
+    const std::vector<Chunk> &chunks = _chunks.at(cpu);
+    for (const Chunk &c : chunks) {
+        std::uint64_t n = c.bytes / sizeof(TraceRecord);
+        if (i < c.firstRecord + n && i >= c.firstRecord) {
+            TraceRecord r;
+            std::memcpy(&r,
+                        filePtr(c.offset + (i - c.firstRecord) *
+                                               sizeof(TraceRecord)),
+                        sizeof(r));
+            return r;
+        }
+    }
+    throw std::out_of_range(
+        strFormat("record %llu of cpu %u out of range",
+                  (unsigned long long)i, cpu));
+}
+
+TraceReader::Cursor
+TraceReader::cursor(unsigned cpu) const
+{
+    if (cpu >= _hdr.nCpus)
+        throw std::out_of_range(strFormat("cursor cpu %u out of "
+                                          "range",
+                                          cpu));
+    Cursor c;
+    c._r = this;
+    c._cpu = cpu;
+    return c;
+}
+
+bool
+TraceReader::Cursor::next(TraceRecord &out)
+{
+    const std::vector<Chunk> &chunks = _r->_chunks[_cpu];
+    while (_chunk < chunks.size()) {
+        const Chunk &c = chunks[_chunk];
+        std::uint64_t n = c.bytes / sizeof(TraceRecord);
+        if (_inChunk < n) {
+            std::memcpy(&out,
+                        _r->filePtr(c.offset +
+                                    _inChunk * sizeof(TraceRecord)),
+                        sizeof(out));
+            ++_inChunk;
+            return true;
+        }
+        ++_chunk;
+        _inChunk = 0;
+    }
+    return false;
+}
+
+TraceReader::ValidateReport
+TraceReader::validateFile(const std::string &path)
+{
+    ValidateReport rep;
+    // Structural pass: reuse the constructor; its parse() already
+    // bounds-checks everything iteration relies on.
+    std::unique_ptr<TraceReader> r;
+    try {
+        r = std::make_unique<TraceReader>(path);
+    } catch (const std::exception &e) {
+        rep.problems.push_back(e.what());
+        // Distinguish a cut recording from corruption for callers.
+        std::string w = e.what();
+        rep.truncated = w.find("truncated") != std::string::npos ||
+                        w.find("no trailer") != std::string::npos;
+        return rep;
+    }
+    rep.structureOk = true;
+    rep.totalRecords = r->totalRecords();
+
+    for (unsigned cpu = 0; cpu < r->nCpus(); ++cpu) {
+        const TraceCpuFooter &f = r->cpuFooter(cpu);
+        std::uint64_t checksum = kFnvOffsetBasis;
+        std::uint64_t work = 0, span = 0, n = 0;
+        bool done_seen = false;
+        Cursor cur = r->cursor(cpu);
+        TraceRecord rec;
+        while (cur.next(rec)) {
+            checksum = fnv1a(checksum, &rec, sizeof(rec));
+            work += rec.workDelta;
+            span += rec.tickDelta;
+            if (!traceKindValid(rec.kind))
+                rep.problems.push_back(
+                    strFormat("cpu %u record %llu: invalid op kind "
+                              "%u",
+                              cpu, (unsigned long long)n, rec.kind));
+            else if (done_seen)
+                rep.problems.push_back(
+                    strFormat("cpu %u record %llu: record after the "
+                              "Done terminator",
+                              cpu, (unsigned long long)n));
+            if (static_cast<StreamOp::Kind>(rec.kind) ==
+                StreamOp::Kind::Done)
+                done_seen = true;
+            ++n;
+        }
+        if (checksum != f.checksum)
+            rep.problems.push_back(
+                strFormat("cpu %u: checksum mismatch (stored %016llx, "
+                          "computed %016llx)",
+                          cpu, (unsigned long long)f.checksum,
+                          (unsigned long long)checksum));
+        if (work != f.finalWork)
+            rep.problems.push_back(
+                strFormat("cpu %u: work total disagrees with footer",
+                          cpu));
+        if (span != f.tickSpan)
+            rep.problems.push_back(
+                strFormat("cpu %u: tick span disagrees with footer",
+                          cpu));
+    }
+    return rep;
+}
+
+} // namespace piranha

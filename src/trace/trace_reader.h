@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Read side of the trace boundary: TraceReader maps a finalized trace
+ * file (mmap, read-only) and exposes each CPU's record stream through
+ * cheap cursors, plus a deep non-throwing validation entry point used
+ * by `trace_main validate` and CI.
+ *
+ * The constructor performs structural validation (magic, version,
+ * footer/trailer presence, index bounds) and throws std::runtime_error
+ * on any problem — a TraceReader that exists is safe to iterate.
+ * validateFile() additionally recomputes per-CPU checksums and checks
+ * per-record invariants, reporting every problem instead of throwing.
+ */
+
+#ifndef PIRANHA_TRACE_TRACE_READER_H
+#define PIRANHA_TRACE_TRACE_READER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.h"
+
+namespace piranha {
+
+/** Memory-mapped, validated view of one trace file. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    const TraceFileHeader &header() const { return _hdr; }
+    unsigned nCpus() const { return _hdr.nCpus; }
+    const std::string &path() const { return _path; }
+
+    std::string workloadName() const
+    {
+        return traceGetString(_hdr.workload);
+    }
+    std::string configName() const
+    {
+        return traceGetString(_hdr.config);
+    }
+    std::string label() const { return traceGetString(_hdr.label); }
+    WorkloadIlp ilp() const
+    {
+        return WorkloadIlp{_hdr.issueIlp, _hdr.memOverlap};
+    }
+
+    const TraceCpuFooter &cpuFooter(unsigned cpu) const
+    {
+        return _cpuFooters.at(cpu);
+    }
+    std::uint64_t records(unsigned cpu) const
+    {
+        return _cpuFooters.at(cpu).records;
+    }
+    std::uint64_t totalRecords() const;
+
+    /** Random access to record @p i of @p cpu (copied out of the
+     *  map; bounds-checked). */
+    TraceRecord record(unsigned cpu, std::uint64_t i) const;
+
+    /** Sequential walk over one CPU's records across chunks. */
+    class Cursor
+    {
+      public:
+        /** Copies the next record into @p out; false at stream end. */
+        bool next(TraceRecord &out);
+
+      private:
+        friend class TraceReader;
+        const TraceReader *_r = nullptr;
+        unsigned _cpu = 0;
+        std::size_t _chunk = 0;   //!< index into the cpu's chunk list
+        std::uint64_t _inChunk = 0; //!< record offset within chunk
+    };
+
+    Cursor cursor(unsigned cpu) const;
+
+    /** Outcome of a deep file check. */
+    struct ValidateReport
+    {
+        bool structureOk = false; //!< header/footer/index parse clean
+        bool truncated = false;   //!< trailer missing: cut recording
+        std::vector<std::string> problems;
+        std::uint64_t totalRecords = 0;
+        bool ok() const { return structureOk && problems.empty(); }
+    };
+
+    /**
+     * Validate @p path without throwing: structural checks, per-CPU
+     * checksum recomputation, record-kind validity, and footer totals
+     * cross-checked against the chunk index.
+     */
+    static ValidateReport validateFile(const std::string &path);
+
+  private:
+    struct Chunk
+    {
+        std::uint64_t offset = 0; //!< payload offset in the file
+        std::uint64_t bytes = 0;
+        std::uint64_t firstRecord = 0; //!< cumulative record index
+    };
+
+    /** Parse + structural validation; appends problems instead of
+     *  throwing. Returns false when iteration would be unsafe. */
+    bool parse(std::vector<std::string> &problems, bool &truncated);
+
+    const unsigned char *filePtr(std::uint64_t off) const
+    {
+        return _base + off;
+    }
+
+    std::string _path;
+    int _fd = -1;
+    const unsigned char *_base = nullptr;
+    std::size_t _len = 0;
+    TraceFileHeader _hdr;
+    TraceFooterHeader _footer;
+    std::vector<TraceCpuFooter> _cpuFooters;
+    std::vector<std::vector<Chunk>> _chunks; //!< per CPU, file order
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_TRACE_TRACE_READER_H

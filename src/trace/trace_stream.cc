@@ -1,0 +1,69 @@
+#include "trace/trace_stream.h"
+
+#include <stdexcept>
+
+#include "sim/logging.h"
+
+namespace piranha {
+
+TraceStream::TraceStream(std::shared_ptr<const TraceReader> reader,
+                         unsigned cpu)
+    : _reader(std::move(reader)), _cursor(_reader->cursor(cpu))
+{}
+
+StreamOp
+TraceStream::next()
+{
+    if (_done)
+        return StreamOp{}; // Done
+    TraceRecord rec;
+    if (!_cursor.next(rec)) {
+        // Defensive: a validated trace always ends each CPU with a
+        // Done record, but replay must terminate regardless.
+        _done = true;
+        return StreamOp{};
+    }
+    StreamOp op = decodeOp(rec, _lastPc);
+    _lastPc = op.pc;
+    _work += rec.workDelta;
+    if (op.kind == StreamOp::Kind::Done)
+        _done = true;
+    return op;
+}
+
+TraceWorkload::TraceWorkload(const std::string &path)
+    : _reader(std::make_shared<const TraceReader>(path)),
+      _name(_reader->workloadName())
+{
+    if (_name.empty())
+        _name = "trace";
+}
+
+std::unique_ptr<InstrStream>
+TraceWorkload::makeStream(EventQueue &, unsigned global_cpu,
+                          unsigned total_cpus, std::uint64_t,
+                          NodeId, const AddressMap &)
+{
+    if (total_cpus != _reader->nCpus())
+        throw std::runtime_error(strFormat(
+            "trace %s was recorded on %u CPUs; cannot replay on %u",
+            _reader->path().c_str(), _reader->nCpus(), total_cpus));
+    return std::make_unique<TraceStream>(_reader, global_cpu);
+}
+
+SystemConfig
+TraceWorkload::config() const
+{
+    const TraceFileHeader &h = _reader->header();
+    std::string cname = _reader->configName();
+    SystemConfig cfg = configByName(cname, h.nodes);
+    if (cfg.cpusPerChip != h.cpusPerChip || cfg.nodes != h.nodes)
+        throw std::runtime_error(strFormat(
+            "config \"%s\" resolves to %ux%u CPUs but trace %s was "
+            "recorded on %ux%u",
+            cname.c_str(), cfg.nodes, cfg.cpusPerChip,
+            _reader->path().c_str(), h.nodes, h.cpusPerChip));
+    return cfg;
+}
+
+} // namespace piranha

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Replay side of the trace boundary: TraceStream is an InstrStream
+ * that re-emits one CPU's recorded dynamic operation sequence —
+ * including Idle timing feedback — and TraceWorkload makes a whole
+ * trace file a first-class workload: selectable from sweep_main
+ * (--replay) and the bench drivers, rebuilding the recorded run's
+ * configuration by name so that record → replay on the same topology
+ * reproduces the live run's stat tree and coherence trace bit for
+ * bit (tests/trace_test.cc pins this).
+ *
+ * Replay does not consult recorded pull ticks: the timing model
+ * itself reproduces them (streams never schedule events, they only
+ * observe simulated time), and the recorded deltas stay available to
+ * trace_main for inspection and drift analysis.
+ */
+
+#ifndef PIRANHA_TRACE_TRACE_STREAM_H
+#define PIRANHA_TRACE_TRACE_STREAM_H
+
+#include <memory>
+#include <string>
+
+#include "system/config.h"
+#include "trace/trace_reader.h"
+#include "workload/workload.h"
+
+namespace piranha {
+
+/** Replays one CPU's record stream from a mapped trace file. */
+class TraceStream : public InstrStream
+{
+  public:
+    TraceStream(std::shared_ptr<const TraceReader> reader,
+                unsigned cpu);
+
+    /** The recorded op, or Done forever once the stream (or a
+     *  truncated chunk list) is exhausted. */
+    StreamOp next() override;
+
+    std::uint64_t workDone() const override { return _work; }
+
+  private:
+    std::shared_ptr<const TraceReader> _reader;
+    TraceReader::Cursor _cursor;
+    Addr _lastPc = 0;
+    std::uint64_t _work = 0;
+    bool _done = false;
+};
+
+/** A recorded run as a workload: streams replay the trace's per-CPU
+ *  op sequences; name/ILP/seed come from the recorded header. */
+class TraceWorkload : public Workload
+{
+  public:
+    /** Maps and validates @p path (throws std::runtime_error on a
+     *  truncated or corrupt file). */
+    explicit TraceWorkload(const std::string &path);
+
+    /** The recorded workload's name, so replay is a drop-in. */
+    const std::string &name() const override { return _name; }
+    WorkloadIlp ilp() const override { return _reader->ilp(); }
+    std::uint64_t seed() const override
+    {
+        return _reader->header().seed;
+    }
+
+    /** Throws when @p total_cpus differs from the recorded topology —
+     *  a trace only replays on the system shape it was captured on.
+     *  @p work_target is ignored: the recorded streams embed their
+     *  own termination. */
+    std::unique_ptr<InstrStream>
+    makeStream(EventQueue &eq, unsigned global_cpu, unsigned total_cpus,
+               std::uint64_t work_target, NodeId node,
+               const AddressMap &amap) override;
+
+    /** Rebuild the recorded run's SystemConfig from the header's
+     *  config name + topology (configByName); throws when the name is
+     *  unknown or the topology disagrees. */
+    SystemConfig config() const;
+
+    /** Work target of the recorded run (per CPU). */
+    std::uint64_t workPerCpu() const
+    {
+        return _reader->header().workPerCpu;
+    }
+
+    const TraceReader &reader() const { return *_reader; }
+
+  private:
+    std::shared_ptr<const TraceReader> _reader;
+    std::string _name;
+};
+
+} // namespace piranha
+
+#endif // PIRANHA_TRACE_TRACE_STREAM_H

@@ -49,7 +49,7 @@ class DssWorkload : public Workload
                const AddressMap &amap) override;
 
     const DssParams &params() const { return _p; }
-    std::uint64_t seed() const { return _seed; }
+    std::uint64_t seed() const override { return _seed; }
 
   private:
     DssParams _p;

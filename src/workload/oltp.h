@@ -91,7 +91,7 @@ class OltpWorkload : public Workload
     std::vector<std::uint64_t> historyCursor;
 
     const OltpParams &params() const { return _p; }
-    std::uint64_t seed() const { return _seed; }
+    std::uint64_t seed() const override { return _seed; }
 
   private:
     OltpParams _p;

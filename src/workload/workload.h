@@ -38,6 +38,11 @@ class Workload
     /** ILP/overlap the OOO baseline extracts from this workload. */
     virtual WorkloadIlp ilp() const = 0;
 
+    /** RNG seed the workload was built with (0 when seedless). The
+     *  trace recorder (src/trace) stores it in the trace header so a
+     *  replayed run documents the generator state it came from. */
+    virtual std::uint64_t seed() const { return 0; }
+
     /**
      * Create the stream for one CPU. @p work_target is the number of
      * work units (transactions / scan chunks) after which the stream
