@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Parallel-engine benchmark: serial vs sharded runs of the same
+ * multichip workloads, with the bit-identity gate applied to every
+ * measured pair. Written to BENCH_parallel.json (and printed):
+ *
+ *  1. End-to-end runs — 8-chip P4 OLTP and DSS executed under the
+ *     serial engine and under the parallel engine at 2/4/8 shards.
+ *     Every parallel run must match the serial reference exactly
+ *     (flattenRunResultComparable, the full stat tree, and the
+ *     engine-invariant eventsEquivalent count) or the bench fails:
+ *     a speedup that changes the simulation is not a speedup.
+ *
+ *  2. Host parallelism context — the report records host_cpus
+ *     (hardware_concurrency) next to every speedup. The sharded
+ *     engine can only beat serial when the host has cores to run
+ *     shards on; on a single-core host the same binary measures pure
+ *     coordination overhead (epoch barriers + mailbox flushes), which
+ *     is worth pinning too. Numbers in the committed report are from
+ *     the build host and are honest either way.
+ *
+ * Usage: parallel_bench [--json FILE] [--repeat N] [--work W]
+ *
+ * End-to-end timings are the minimum over N repeats (default 3); the
+ * simulation is deterministic, so repeats do identical work and the
+ * minimum estimates un-contended host time.
+ */
+
+#include <fstream>
+#include <thread>
+
+#include "bench_util.h"
+#include "harness/sweep.h"
+#include "host_timer.h"
+#include "stats/json_writer.h"
+
+PIRANHA_BENCH_DEFINE_ALLOC_COUNTER
+
+namespace piranha {
+namespace {
+
+using bench::HostClock;
+
+constexpr unsigned kNodes = 8;
+constexpr unsigned kCpusPerChip = 4;
+
+struct EngineRun
+{
+    RunResult run;
+    double seconds = 0;
+    std::string statDump;
+};
+
+/**
+ * One measured run; repeated @p repeats times with the minimum host
+ * time kept (min-of-N, as in datapath_bench: deterministic work, so
+ * the fastest repeat is the least-contended). Every repeat's stat
+ * tree must be bit-identical or the bench fails — that covers
+ * run-to-run determinism of the parallel engine itself.
+ */
+template <typename MakeWl>
+EngineRun
+runEngine(MakeWl make_wl, std::uint64_t total_work, EngineKind engine,
+          unsigned shards, int repeats)
+{
+    EngineRun r;
+    for (int i = 0; i < repeats; ++i) {
+        auto wl = make_wl();
+        SystemConfig cfg = configPn(kCpusPerChip, kNodes);
+        cfg.engine = engine;
+        cfg.shards = shards;
+        cfg.drainStop = true; // the comparison basis for both engines
+        PiranhaSystem sys(cfg);
+        std::uint64_t per_cpu =
+            std::max<std::uint64_t>(1, total_work / sys.totalCpus());
+        HostClock::time_point t0 = HostClock::now();
+        RunResult run = sys.run(*wl, per_cpu);
+        double seconds = bench::secondsSince(t0);
+        std::string dump = statGroupToJson(sys.stats()).dump(0);
+        if (i == 0) {
+            r.run = run;
+            r.seconds = seconds;
+            r.statDump = std::move(dump);
+        } else {
+            if (dump != r.statDump) {
+                std::cerr << "nondeterministic repeat (shards="
+                          << shards << ")\n";
+                std::exit(1);
+            }
+            if (seconds < r.seconds) {
+                r.seconds = seconds;
+                r.run = run; // keep the least-contended host profile
+            }
+        }
+    }
+    return r;
+}
+
+JsonValue
+runJson(const EngineRun &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("host_seconds", r.seconds);
+    o.set("events_executed", r.run.eventsExecuted);
+    o.set("events_equivalent", r.run.eventsEquivalent);
+    o.set("exec_time_ps", static_cast<std::uint64_t>(r.run.execTime));
+    o.set("work", r.run.work);
+    o.set("shards_used", static_cast<std::uint64_t>(r.run.shardsUsed));
+    o.set("parallel_epochs", r.run.parallelEpochs);
+    if (!r.run.shardHostSeconds.empty()) {
+        JsonValue a = JsonValue::array();
+        for (double s : r.run.shardHostSeconds)
+            a.append(s);
+        o.set("shard_host_seconds", std::move(a));
+    }
+    return o;
+}
+
+/** Serial reference + the sharded runs for one workload. */
+template <typename MakeWl>
+JsonValue
+benchWorkload(const char *label, MakeWl make_wl,
+              std::uint64_t total_work, int repeats,
+              bool &all_identical, double &best_speedup)
+{
+    EngineRun serial = runEngine(make_wl, total_work,
+                                 EngineKind::Serial, 0, repeats);
+    std::printf("  %s serial: %.3fs host, %llu epochs-equivalent "
+                "events\n",
+                label, serial.seconds,
+                static_cast<unsigned long long>(
+                    serial.run.eventsEquivalent));
+
+    JsonValue o = JsonValue::object();
+    o.set("serial", runJson(serial));
+    JsonValue sharded = JsonValue::array();
+    for (unsigned shards : {2u, 4u, 8u}) {
+        EngineRun par = runEngine(make_wl, total_work,
+                                  EngineKind::Parallel, shards, repeats);
+        bool identical =
+            flattenRunResultComparable(par.run) ==
+                flattenRunResultComparable(serial.run) &&
+            par.run.eventsEquivalent == serial.run.eventsEquivalent &&
+            par.statDump == serial.statDump;
+        all_identical = all_identical && identical;
+        double speedup =
+            par.seconds > 0 ? serial.seconds / par.seconds : 0;
+        best_speedup = std::max(best_speedup, speedup);
+        std::printf("  %s %u shards: %.3fs host (%.2fx), %llu epochs, "
+                    "identical: %s\n",
+                    label, par.run.shardsUsed, par.seconds, speedup,
+                    static_cast<unsigned long long>(
+                        par.run.parallelEpochs),
+                    identical ? "yes" : "NO");
+        JsonValue e = runJson(par);
+        e.set("shards_requested", static_cast<std::uint64_t>(shards));
+        e.set("speedup_vs_serial", speedup);
+        e.set("stats_identical", identical);
+        sharded.append(std::move(e));
+    }
+    o.set("sharded", std::move(sharded));
+    return o;
+}
+
+} // namespace
+} // namespace piranha
+
+int
+main(int argc, char **argv)
+{
+    using namespace piranha;
+
+    std::string json_path = "BENCH_parallel.json";
+    int repeats = 3;
+    std::uint64_t total_work = 2048;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (arg == "--repeat" && i + 1 < argc)
+            repeats = std::max(1, std::atoi(argv[++i]));
+        else if (arg == "--work" && i + 1 < argc)
+            total_work = static_cast<std::uint64_t>(
+                std::atoll(argv[++i]));
+    }
+
+    unsigned host_cpus = std::thread::hardware_concurrency();
+    std::printf("=== Parallel engine (P4 x %u chips, %llu work, "
+                "min of %d, host has %u CPU%s) ===\n\n",
+                kNodes, static_cast<unsigned long long>(total_work),
+                repeats, host_cpus, host_cpus == 1 ? "" : "s");
+
+    bool all_identical = true;
+    double best_speedup = 0;
+    auto make_oltp = [] { return std::make_unique<OltpWorkload>(); };
+    auto make_dss = [] { return std::make_unique<DssWorkload>(); };
+    JsonValue oltp = benchWorkload("OLTP", make_oltp, total_work,
+                                   repeats, all_identical, best_speedup);
+    JsonValue dss = benchWorkload("DSS ", make_dss, total_work, repeats,
+                                  all_identical, best_speedup);
+
+    JsonValue root = JsonValue::object();
+    root.set("bench", "parallel");
+    root.set("host_cpus", static_cast<std::uint64_t>(host_cpus));
+    root.set("repeats", repeats);
+    root.set("nodes", static_cast<std::uint64_t>(kNodes));
+    root.set("cpus_per_chip", static_cast<std::uint64_t>(kCpusPerChip));
+    root.set("total_work", total_work);
+    root.set("e2e_oltp", std::move(oltp));
+    root.set("e2e_dss", std::move(dss));
+    root.set("stats_identical", all_identical);
+    root.set("best_speedup_vs_serial", best_speedup);
+    root.set("meets_1_8x", best_speedup >= 1.8);
+
+    std::printf("\n  best speedup vs serial: %.2fx (target 1.8x on a "
+                "multi-core host); identity: %s\n",
+                best_speedup, all_identical ? "held" : "VIOLATED");
+
+    if (!all_identical) {
+        std::cerr << "\nparallel and serial engines diverged\n";
+        return 1;
+    }
+
+    std::ofstream os(json_path);
+    root.write(os, 2);
+    os << "\n";
+    std::cout << "\nreport written to " << json_path << "\n";
+    return 0;
+}

@@ -286,6 +286,9 @@ usage()
         << "  --timeout SEC   per-job host wall-clock timeout\n"
         << "  --no-stat-tree  omit full StatGroup snapshots\n"
         << "  --verify        serial vs parallel bit-identity check\n"
+        << "  --engine E      intra-run engine: serial|parallel\n"
+        << "  --shards N      parallel-engine workers per job "
+           "(0 = one per chip)\n"
         << "  --no-fastpath   force the evented L1-hit slow path\n"
         << "  --seeds N       seeds per litmus program (default 8)\n"
         << "  --record DIR    capture each job to DIR/<label>.ptrace\n"
@@ -293,14 +296,21 @@ usage()
     return 2;
 }
 
-/** Per-job comparison key: flat stats + full stat tree, no timings. */
+/**
+ * Per-job comparison key: flat stats + full stat tree, no timings.
+ * Cross-engine comparisons drop events_executed (the fast path's
+ * inline/evented split shifts at epoch boundaries; events_equivalent
+ * stays in and must match — see RunResult::eventsEquivalent).
+ */
 std::string
-comparableKey(const JobResult &j)
+comparableKey(const JobResult &j, bool cross_engine)
 {
     std::string key = j.label;
     key += '|';
     key += jobStatusName(j.status);
     for (const auto &[k, v] : j.stats) {
+        if (cross_engine && k == "events_executed")
+            continue;
         key += '|';
         key += k;
         key += '=';
@@ -311,24 +321,42 @@ comparableKey(const JobResult &j)
     return key;
 }
 
+/**
+ * With --engine serial (default) this verifies the host-thread pool:
+ * the same spec on 1 thread vs N, bit-identical. With --engine
+ * parallel the reference pass ALSO drops to the serial intra-run
+ * engine (run to quiescence), so the gate proves the sharded engine
+ * reproduces the serial engine's simulation exactly.
+ */
 int
 runVerify(const SweepSpec &spec, SweepOptions opts)
 {
+    const bool cross_engine = opts.engine == EngineKind::Parallel;
     SweepOptions serial = opts;
     serial.threads = 1;
     serial.progress = nullptr;
-    std::cout << "verify: serial pass..." << std::endl;
+    if (cross_engine) {
+        serial.engine = EngineKind::Serial;
+        serial.drainStop = true; // the parallel engine always drains
+    }
+    std::cout << (cross_engine
+                      ? "verify: serial-engine reference pass..."
+                      : "verify: serial pass...")
+              << std::endl;
     SweepReport a = SweepRunner(serial).run(spec);
     std::cout << "verify: parallel pass ("
               << SweepRunner(opts).effectiveThreads(a.jobs.size())
-              << " threads)..." << std::endl;
+              << " threads"
+              << (cross_engine ? ", sharded engine" : "") << ")..."
+              << std::endl;
     SweepOptions par = opts;
     par.progress = nullptr;
     SweepReport b = SweepRunner(par).run(spec);
 
     bool identical = a.jobs.size() == b.jobs.size();
     for (size_t i = 0; identical && i < a.jobs.size(); ++i) {
-        if (comparableKey(a.jobs[i]) != comparableKey(b.jobs[i])) {
+        if (comparableKey(a.jobs[i], cross_engine) !=
+            comparableKey(b.jobs[i], cross_engine)) {
             std::cout << "MISMATCH at job " << a.jobs[i].label << "\n";
             identical = false;
         }
@@ -378,6 +406,17 @@ main(int argc, char **argv)
             opts.captureStatTree = false;
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--engine" && i + 1 < argc) {
+            std::string e = argv[++i];
+            if (e == "parallel")
+                opts.engine = EngineKind::Parallel;
+            else if (e == "serial")
+                opts.engine = EngineKind::Serial;
+            else
+                return usage();
+        } else if (arg == "--shards" && i + 1 < argc) {
+            opts.engineShards =
+                static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--record" && i + 1 < argc) {
             record_dir = argv[++i];
         } else if (arg == "--replay" && i + 1 < argc) {

@@ -87,6 +87,10 @@ flattenRunResult(const RunResult &r)
     m["miss_mem_remote"] = r.misses.memRemote;
     m["miss_remote_dirty"] = r.misses.remoteDirty;
     m["events_executed"] = static_cast<double>(r.eventsExecuted);
+    // Engine- and datapath-invariant event count (kernel events +
+    // inline fast-path hits): identical across serial/parallel
+    // engines and any shard count, so it stays in the comparable map.
+    m["events_equivalent"] = static_cast<double>(r.eventsEquivalent);
     return m;
 }
 

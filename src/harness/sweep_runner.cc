@@ -93,7 +93,14 @@ SweepRunner::runJobOnce(const SweepPoint &pt, bool &transient) const
         std::unique_ptr<Workload> wl = pt.workload.make();
         if (!wl)
             throw std::runtime_error("workload factory returned null");
-        PiranhaSystem sys(pt.config);
+        SystemConfig cfg = pt.config;
+        if (_opts.engine == EngineKind::Parallel) {
+            cfg.engine = EngineKind::Parallel;
+            cfg.shards = _opts.engineShards;
+        }
+        if (_opts.drainStop)
+            cfg.drainStop = true;
+        PiranhaSystem sys(cfg);
         std::uint64_t per_cpu = std::max<std::uint64_t>(
             1, pt.workload.totalWork / sys.totalCpus());
         jr.run = sys.run(*wl, per_cpu, pt.maxTime, abort_check);

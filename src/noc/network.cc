@@ -40,6 +40,54 @@ Network::addNode(NodeId node, NetDeliverFn deliver, unsigned channels)
     Node &n = _nodes[node];
     n.deliver = std::move(deliver);
     n.maxChannels = channels;
+    n.rng = Pcg32{0x9142a4a, 42 + std::uint64_t(node)};
+}
+
+void
+Network::setFabric(NetFabric *f)
+{
+    _fabric = f;
+    _nodeStats.clear();
+    if (_fabric) {
+        _nodeStats.resize(_fabric->numNodes());
+        for (NodeStats &s : _nodeStats)
+            s.latency = Histogram{50.0, 64};
+    }
+}
+
+Tick
+Network::minCrossLatency() const
+{
+    // A handoff computed at tick t arrives no earlier than
+    // t + occupancy(short) + link flight; occupancy can only grow with
+    // backlog or packet length.
+    return icCycles(2) + nsToTicks(_p.linkNs);
+}
+
+EventQueue &
+Network::eqFor(NodeId n)
+{
+    return _fabric ? _fabric->queueFor(n) : eventQueue();
+}
+
+void
+Network::mergeShardedStats()
+{
+    for (NodeId n = 0; n < _nodeStats.size(); ++n) {
+        NodeStats &s = _nodeStats[n];
+        statPackets += s.packets;
+        statLongPackets += s.longPackets;
+        statHops += s.hops;
+        statMisroutes += s.misroutes;
+        statLatency.merge(s.latency);
+        s = NodeStats{};
+    }
+}
+
+void
+Network::arriveAt(NetPacket &&pkt, NodeId at, Tick injected)
+{
+    hop(std::move(pkt), at, injected);
 }
 
 void
@@ -90,24 +138,34 @@ Network::inject(NetPacket pkt)
     if (_faults && !_faults->netInjectHook(*this, pkt))
         return;
 #endif
-    ++statPackets;
-    if (pkt.isLong())
-        ++statLongPackets;
-    Tick injected = curTick();
     NodeId src = pkt.src;
+    EventQueue &q = eqFor(src);
+    if (_fabric) {
+        NodeStats &s = _nodeStats[src];
+        ++s.packets;
+        if (pkt.isLong())
+            ++s.longPackets;
+    } else {
+        ++statPackets;
+        if (pkt.isLong())
+            ++statLongPackets;
+    }
+    Tick injected = q.curTick();
     // Output-queue fall-through (single cycle when the router is
     // ready; transit traffic has priority, modeled in channel
     // backlog).
-    scheduleIn(nsToTicks(_p.oqNs), [this, pkt = std::move(pkt), src,
-                                    injected]() mutable {
-        hop(std::move(pkt), src, injected);
-    });
+    q.schedule(injected + nsToTicks(_p.oqNs),
+               [this, pkt = std::move(pkt), src, injected]() mutable {
+                   hop(std::move(pkt), src, injected);
+               });
 }
 
 void
 Network::hop(NetPacket pkt, NodeId at, Tick injected)
 {
     Node &node = _nodes.at(at);
+    EventQueue &q = eqFor(at);
+    Tick now = q.curTick();
     if (pkt.dst == at) {
 #if PIRANHA_FAULT_INJECT
         // Receiver-side duplicate filter: hardware interfaces drop a
@@ -118,10 +176,13 @@ Network::hop(NetPacket pkt, NodeId at, Tick injected)
 #endif
         // Input queue: interpret the type field through the
         // disposition vector and hand to the target module.
-        statLatency.sample(
-            static_cast<double>(curTick() - injected) /
-            static_cast<double>(ticksPerNs));
-        scheduleIn(nsToTicks(_p.iqNs),
+        double lat = static_cast<double>(now - injected) /
+                     static_cast<double>(ticksPerNs);
+        if (_fabric)
+            _nodeStats[at].latency.sample(lat);
+        else
+            statLatency.sample(lat);
+        q.schedule(now + nsToTicks(_p.iqNs),
                    [fn = node.deliver, pkt = std::move(pkt)] {
                        fn(pkt);
                    });
@@ -140,17 +201,20 @@ Network::hop(NetPacket pkt, NodeId at, Tick injected)
         panic("network: next hop %u not a neighbor of %u", preferred,
               at);
 
-    Tick now = curTick();
     Tick backlog = chan->busyUntil > now ? chan->busyUntil - now : 0;
     if (backlog > icCycles(_p.misrouteThresholdIc) &&
         pkt.age < _p.maxAge && node.channels.size() > 1) {
         // Hot potato: deflect to a random alternate channel with a
         // shorter backlog; the age field escalates priority so the
         // packet eventually takes the optimal path.
-        Channel &alt = node.channels[_rng.below(
+        Pcg32 &rng = _fabric ? node.rng : _rng;
+        Channel &alt = node.channels[rng.below(
             static_cast<std::uint32_t>(node.channels.size()))];
         if (alt.to != preferred && alt.busyUntil < chan->busyUntil) {
-            ++statMisroutes;
+            if (_fabric)
+                ++_nodeStats[at].misroutes;
+            else
+                ++statMisroutes;
             ++pkt.age;
             chan = &alt;
         }
@@ -160,8 +224,17 @@ Network::hop(NetPacket pkt, NodeId at, Tick injected)
     Tick occupancy = icCycles(pkt.icCycles());
     chan->busyUntil = start + occupancy;
     Tick arrive = start + occupancy + nsToTicks(_p.linkNs);
-    ++statHops;
+    if (_fabric)
+        ++_nodeStats[at].hops;
+    else
+        ++statHops;
     NodeId to = chan->to;
+    if (_fabric) {
+        // Canonical cross-node handoff: staged by arrival tick, merged
+        // in (send tick, source, sequence) order at the destination.
+        _fabric->post(at, to, arrive, injected, std::move(pkt));
+        return;
+    }
     eventQueue().schedule(arrive, [this, pkt = std::move(pkt), to,
                                    injected]() mutable {
         hop(std::move(pkt), to, injected);

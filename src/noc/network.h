@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "noc/net_fabric.h"
 #include "noc/packet.h"
 #include "sim/rng.h"
 #include "sim/sim_object.h"
@@ -81,6 +82,30 @@ class Network : public SimObject
     static void buildFullyConnected(Network &net);
     static void buildRing(Network &net);
 
+    /**
+     * Attach the canonical delivery fabric (DESIGN.md §13). From then
+     * on every per-node action runs against that node's own event
+     * queue, cross-node handoffs go through NetFabric::post, misroute
+     * randomness comes from a per-node stream, and stats accumulate in
+     * per-node partials folded back by mergeShardedStats(). Without a
+     * fabric the legacy single-queue path is byte-identical to before.
+     */
+    void setFabric(NetFabric *f);
+    NetFabric *fabric() { return _fabric; }
+
+    /**
+     * Smallest possible sender-to-next-node latency of any handoff:
+     * the conservative lookahead bound for the parallel engine's
+     * epochs (short-packet occupancy + link flight time).
+     */
+    Tick minCrossLatency() const;
+
+    /** Fold per-node partials into the registered stats, node order. */
+    void mergeShardedStats();
+
+    /** Fabric flush callback: continue the hop pipeline at @p at. */
+    void arriveAt(NetPacket &&pkt, NodeId at, Tick injected);
+
     void regStats(StatGroup &parent);
 
     Scalar statPackets;
@@ -103,15 +128,32 @@ class Network : public SimObject
         std::vector<Channel> channels;
         // next hop per destination
         std::unordered_map<NodeId, NodeId> nextHop;
+        // fabric mode only: node-local misroute stream, so results
+        // don't depend on which thread interleaving consumed a shared
+        // generator
+        Pcg32 rng{0x9142a4a, 42};
+    };
+
+    /** Fabric mode: per-node stat partials, merged at end of run. */
+    struct NodeStats
+    {
+        double packets = 0;
+        double longPackets = 0;
+        double hops = 0;
+        double misroutes = 0;
+        Histogram latency{50.0, 64};
     };
 
     void hop(NetPacket pkt, NodeId at, Tick injected);
     Tick icCycles(unsigned n) const;
+    EventQueue &eqFor(NodeId n);
 
     NetworkParams _p;
     FaultInjector *_faults = nullptr;
+    NetFabric *_fabric = nullptr;
     std::unordered_map<NodeId, Node> _nodes;
-    Pcg32 _rng{0x9142a4a, 42}; // deterministic misrouting
+    std::vector<NodeStats> _nodeStats;
+    Pcg32 _rng{0x9142a4a, 42}; // deterministic misrouting (legacy path)
     StatGroup _stats{"network"};
 };
 

@@ -91,22 +91,24 @@ class EventQueue
     void
     schedule(Event &ev, Tick when)
     {
-        if (when < _curTick)
-            panic("event %s scheduled in the past (%llu < %llu)",
-                  ev.eventName(), (unsigned long long)when,
-                  (unsigned long long)_curTick);
-        if (ev._sched)
-            panic("event %s is already scheduled", ev.eventName());
-        ev._eq = this;
-        ev._when = when;
-        ev._seq = _nextSeq++;
-        ev._sched = true;
-        ++_numPending;
-        std::uint64_t blk = when >> kBucketShift;
-        if (_wheelEnabled && blk - (_curTick >> kBucketShift) < kNumBuckets)
-            insertWheel(ev, blk);
-        else
-            insertHeap(ev);
+        scheduleWithSeq(ev, when, _nextSeq++);
+    }
+
+    /**
+     * Schedule @p ev at @p when ahead of every normally-scheduled
+     * event of the same tick: priority sequence numbers come from a
+     * band below the normal one, so at equal ticks a priority event
+     * always sorts first regardless of when it was scheduled. Used by
+     * the network fabric's canonical delivery flushes (DESIGN.md §13)
+     * so cross-chip arrivals at tick T execute before any local event
+     * of tick T in both the serial and the parallel engine.
+     */
+    void
+    schedulePriority(Event &ev, Tick when)
+    {
+        if (_nextPrioSeq >= kNormalSeqBase)
+            panic("priority sequence band exhausted");
+        scheduleWithSeq(ev, when, _nextPrioSeq++);
     }
 
     /** Schedule @p ev to fire @p delta ticks from now. */
@@ -144,6 +146,15 @@ class EventQueue
         LambdaEvent *ev = acquireLambda();
         ev->_fn = std::move(fn);
         schedule(*ev, when);
+    }
+
+    /** Closure variant of schedulePriority (fabric flush events). */
+    void
+    schedulePriority(Tick when, EventFn fn)
+    {
+        LambdaEvent *ev = acquireLambda();
+        ev->_fn = std::move(fn);
+        schedulePriority(*ev, when);
     }
 
     /** Schedule closure @p fn to run @p delta ticks from now. */
@@ -192,21 +203,44 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return _executed; }
 
+    /** Tick of the next pending event (~Tick(0) when empty). */
+    Tick
+    nextEventTick()
+    {
+        Event *n = peekNext();
+        return n ? n->_when : ~Tick(0);
+    }
+
     /**
      * True when no pending event fires at or before @p t — i.e. the
      * interval (curTick, t] is free of scheduled work. Used by the
      * zero-event L1-hit fast path to prove that completing an access
      * inline (and advancing the clock) cannot reorder against any
      * other component's events.
+     *
+     * Under the parallel engine the proof additionally requires @p t
+     * to lie inside the current epoch: beyond the horizon other
+     * shards may still post work into this tick range, so the quiet
+     * claim cannot be made and the fast path falls back to its
+     * evented tier (which is bit-identical, see DESIGN.md §8).
      */
     bool
     quietThrough(Tick t)
     {
+        if (t > _horizon)
+            return false;
         if (_numPending == 0)
             return true;
         Event *n = peekNext();
         return !n || n->_when > t;
     }
+
+    /**
+     * Bound the quietThrough proof to ticks <= @p t (the last tick of
+     * the current epoch). ~Tick(0) (the default) removes the bound.
+     */
+    void setHorizon(Tick t) { _horizon = t; }
+    Tick horizon() const { return _horizon; }
 
     /**
      * Advance curTick to @p t without executing anything. Only legal
@@ -242,6 +276,34 @@ class EventQueue
     static constexpr std::size_t kNumBuckets = 256;
     static constexpr std::size_t kOccWords = kNumBuckets / 64;
 
+    // Sequence bands: normal events draw from [kNormalSeqBase, 2^64),
+    // priority events from [0, kNormalSeqBase). Both bands are
+    // monotone, so FIFO order within a band is preserved and a
+    // priority event beats every normal event of the same tick.
+    static constexpr std::uint64_t kNormalSeqBase = std::uint64_t(1)
+                                                    << 62;
+
+    void
+    scheduleWithSeq(Event &ev, Tick when, std::uint64_t seq)
+    {
+        if (when < _curTick)
+            panic("event %s scheduled in the past (%llu < %llu)",
+                  ev.eventName(), (unsigned long long)when,
+                  (unsigned long long)_curTick);
+        if (ev._sched)
+            panic("event %s is already scheduled", ev.eventName());
+        ev._eq = this;
+        ev._when = when;
+        ev._seq = seq;
+        ev._sched = true;
+        ++_numPending;
+        std::uint64_t blk = when >> kBucketShift;
+        if (_wheelEnabled && blk - (_curTick >> kBucketShift) < kNumBuckets)
+            insertWheel(ev, blk);
+        else
+            insertHeap(ev);
+    }
+
     struct HeapEnt
     {
         Tick when;
@@ -274,10 +336,13 @@ class EventQueue
         ev._inWheel = true;
         std::size_t b = static_cast<std::size_t>(blk) & (kNumBuckets - 1);
         Event *at = _bucketTail[b];
-        // Sorted insert from the tail: deltas are nondecreasing in
-        // practice, so this is O(1); equal ticks file after existing
-        // entries (the new event has the larger seq).
-        while (at && at->_when > ev._when)
+        // Sorted insert from the tail by (when, seq): deltas are
+        // nondecreasing in practice, so this is O(1). Normal events at
+        // equal ticks file after existing entries (the new event has
+        // the larger seq); a priority-band event walks past same-tick
+        // normal entries to file ahead of them.
+        while (at && (at->_when > ev._when ||
+                      (at->_when == ev._when && at->_seq > ev._seq)))
             at = at->_prev;
         if (!at) {
             ev._prev = nullptr;
@@ -413,7 +478,9 @@ class EventQueue
 
     bool _wheelEnabled;
     Tick _curTick = 0;
-    std::uint64_t _nextSeq = 0;
+    Tick _horizon = ~Tick(0);
+    std::uint64_t _nextSeq = kNormalSeqBase;
+    std::uint64_t _nextPrioSeq = 0;
     std::uint64_t _executed = 0;
     std::size_t _numPending = 0;
     std::size_t _wheelCount = 0;

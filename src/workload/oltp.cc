@@ -58,6 +58,7 @@ class OltpStream : public InstrStream
           _total(total_cpus), _target(target),
           _rng(wl.seed() ^ 0x9e3779b97f4a7c15ULL, cpu)
     {
+        _histCount.assign(_p.branches, 0);
         _ctxs.resize(_p.serversPerCpu);
         for (unsigned s = 0; s < _p.serversPerCpu; ++s) {
             ServerCtx &c = _ctxs[s];
@@ -182,10 +183,16 @@ class OltpStream : public InstrStream
                            static_cast<std::uint64_t>(_p.branches) *
                                _p.tellersPerBranch));
         } else if ((r -= _p.wHistory) < 0) {
-            // History append: migratory cursor + sequential row.
+            // History append: migratory cursor + sequential row. Slot
+            // allocation is per-stream interleaved (this CPU owns
+            // every _total-th slot), so the generated addresses don't
+            // depend on cross-stream generation order — a requirement
+            // for the parallel engine, where streams refill on
+            // different threads (DESIGN.md §13). The migratory cursor
+            // line itself is still shared coherence traffic.
             unsigned b = _rng.below(_p.branches);
             Addr cur = kHistCursor + b * lineBytes;
-            std::uint64_t idx = _wl.historyCursor[b]++;
+            std::uint64_t idx = _histCount[b]++ * _total + _cpu;
             emitMem(StreamOp::Kind::Load, cur);
             emitMem(StreamOp::Kind::Store, cur);
             emitMem(StreamOp::Kind::Store,
@@ -277,25 +284,21 @@ class OltpStream : public InstrStream
             return;
 
           case ServerCtx::State::LogLock:
-            if (_wl.logLockHolder < 0) {
-                // Short critical section: reserve log space by
-                // bumping the shared cursor under the latch, then
-                // release; the copy into the reserved slots happens
-                // lock-free (Oracle-style redo allocation latch).
-                _wl.logLockHolder = static_cast<int>(_cpu);
-                emitMem(StreamOp::Kind::Load, kLogLock);
-                emitMem(StreamOp::Kind::Store, kLogLock);
-                c.logPos = _wl.logCursor;
-                _wl.logCursor += _p.commitStores;
-                emitMem(StreamOp::Kind::Store, kLogLock + 8);
-                _wl.logLockHolder = -1;
-                emitMem(StreamOp::Kind::Store, kLogLock);
-                c.state = ServerCtx::State::LogWrite;
-            } else {
-                // Spin: re-read the lock word with some backoff.
-                emitCompute(c, 6, true);
-                emitMem(StreamOp::Kind::Load, kLogLock);
-            }
+            // Short critical section: reserve log space under the
+            // latch, then release; the copy into the reserved slots
+            // happens lock-free (Oracle-style redo allocation latch).
+            // The reserve-and-release completes within one refill, so
+            // the latch word is real contended coherence traffic while
+            // slot numbers come from a per-stream interleaved counter
+            // (this CPU owns every _total-th commit run): the emitted
+            // addresses are independent of cross-stream generation
+            // order, which the parallel engine requires.
+            emitMem(StreamOp::Kind::Load, kLogLock);
+            emitMem(StreamOp::Kind::Store, kLogLock);
+            c.logPos = (_commits++ * _total + _cpu) * _p.commitStores;
+            emitMem(StreamOp::Kind::Store, kLogLock + 8);
+            emitMem(StreamOp::Kind::Store, kLogLock);
+            c.state = ServerCtx::State::LogWrite;
             return;
 
           case ServerCtx::State::LogWrite: {
@@ -329,6 +332,8 @@ class OltpStream : public InstrStream
     Pcg32 _rng;
     std::vector<ServerCtx> _ctxs;
     RingBuffer<StreamOp> _q;
+    std::vector<std::uint64_t> _histCount; //!< per-branch appends here
+    std::uint64_t _commits = 0; //!< log reservations by this stream
     std::uint64_t _txns = 0;
     unsigned _rr = 0;
     Addr _lastPc = kUserCode;
@@ -340,7 +345,6 @@ OltpWorkload::OltpWorkload(const OltpParams &p, std::uint64_t seed,
                            std::string name)
     : _p(p), _seed(seed), _name(std::move(name))
 {
-    historyCursor.assign(_p.branches, 0);
 }
 
 std::unique_ptr<InstrStream>

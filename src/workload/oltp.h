@@ -19,8 +19,6 @@
 #ifndef PIRANHA_WORKLOAD_OLTP_H
 #define PIRANHA_WORKLOAD_OLTP_H
 
-#include <vector>
-
 #include "sim/rng.h"
 #include "workload/workload.h"
 
@@ -84,11 +82,6 @@ class OltpWorkload : public Workload
 
     /** TPC-C-like variant: larger transactions, hotter sharing. */
     static OltpParams tpccParams();
-
-    // Shared inter-stream state (log lock, cursors).
-    int logLockHolder = -1;
-    std::uint64_t logCursor = 0;
-    std::vector<std::uint64_t> historyCursor;
 
     const OltpParams &params() const { return _p; }
     std::uint64_t seed() const override { return _seed; }

@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 
 #include "check/checker.h"
@@ -39,6 +40,7 @@ struct TesterConfig
     unsigned lines;
     unsigned opsPerCpu;
     std::uint64_t seed;
+    bool parallel = false; //!< drive with the parallel engine
 };
 
 class CoherenceRandomTest : public ::testing::TestWithParam<TesterConfig>
@@ -48,10 +50,18 @@ class CoherenceRandomTest : public ::testing::TestWithParam<TesterConfig>
 TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
 {
     const TesterConfig cfg = GetParam();
-    CoherenceTracer tracer(std::size_t(1) << 20);
-    ChipParams params;
-    params.tracer = &tracer;
-    TestSystem sys(cfg.nodes, cfg.cpusPerChip, params);
+    // Per-chip tracers (a tracer is not thread-safe across chips);
+    // the serial configurations use the same layout so both engines
+    // feed the checker the identical canonical trace shape.
+    std::vector<std::unique_ptr<CoherenceTracer>> tracers;
+    TestSystemOptions opts;
+    opts.parallel = cfg.parallel;
+    for (unsigned n = 0; n < cfg.nodes; ++n) {
+        tracers.push_back(std::make_unique<CoherenceTracer>(
+            std::size_t(1) << 20));
+        opts.chipTracers.push_back(tracers.back().get());
+    }
+    TestSystem sys(cfg.nodes, cfg.cpusPerChip, ChipParams{}, opts);
 
     const unsigned ncpus = cfg.nodes * cfg.cpusPerChip;
     const Addr base = 0x2000000;
@@ -62,8 +72,10 @@ TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
     // Declare the initial (zero) contents of the contended lines so
     // the offline checker has a complete candidate-write base.
     for (unsigned line = 0; line < cfg.lines; ++line)
-        for (unsigned slot = 0; slot < 8; ++slot)
-            tracer.init(line_addr(line) + slot * 8, 8, 0);
+        for (unsigned slot = 0; slot < 8; ++slot) {
+            Addr a = line_addr(line) + slot * 8;
+            tracers[sys.amap.home(a)]->init(a, 8, 0);
+        }
     // At most 8 writers (one per 8-byte slot), spread across nodes;
     // everyone else is a reader.
     const unsigned wstride = std::max(1u, ncpus / 8);
@@ -83,8 +95,9 @@ TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
         std::vector<std::array<std::uint64_t, 8>>(
             ncpus, std::array<std::uint64_t, 8>{}));
 
-    unsigned active = 0;
-    std::uint64_t errors = 0;
+    // Updated from per-chip worker threads under the parallel engine.
+    std::atomic<unsigned> active{0};
+    std::atomic<std::uint64_t> errors{0};
 
     struct Agent
     {
@@ -161,10 +174,10 @@ TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
         next(ag);
 
     // Run to completion with a generous cycle budget.
-    bool drained = sys.eq.run(static_cast<Tick>(1) << 42);
+    bool drained = sys.runUntil(static_cast<Tick>(1) << 42);
     EXPECT_TRUE(drained) << "simulation did not converge (deadlock?)";
-    EXPECT_EQ(active, 0u);
-    if (active != 0) {
+    EXPECT_EQ(active.load(), 0u);
+    if (active.load() != 0) {
         std::ostringstream os;
         for (auto &chip : sys.chips) {
             for (unsigned b = 0; b < 8; ++b)
@@ -174,11 +187,16 @@ TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
         }
         ADD_FAILURE() << "stuck state:\n" << os.str();
     }
-    ASSERT_EQ(errors, 0u);
+    ASSERT_EQ(errors.load(), 0u);
 
     // The invariant-checked traffic phase is over and the system has
-    // drained: every cached copy must now be current.
-    tracer.mark(sys.eq.curTick(), markerSettled);
+    // drained: every cached copy must now be current. Note the
+    // settle boundary per tracer; the canonical merge below splices a
+    // single global marker at this position.
+    const Tick settled_tick = sys.now();
+    std::vector<std::size_t> settled_count(cfg.nodes);
+    for (unsigned n = 0; n < cfg.nodes; ++n)
+        settled_count[n] = tracers[n]->events().size();
 
     // Final convergence: every slot readable everywhere with its
     // writer's newest value.
@@ -195,11 +213,33 @@ TEST_P(CoherenceRandomTest, NoDataCorruptionUnderRandomTraffic)
 
 #if PIRANHA_COHERENCE_TRACE
     // Second, independent oracle: replay the captured coherence trace
-    // through the offline axiomatic checker.
-    ASSERT_EQ(tracer.dropped(), 0u)
+    // through the offline axiomatic checker. Canonical assembly:
+    // pre-settle events of every chip merged in (tick, node, record
+    // order), one global settled marker, then the readback events.
+    std::uint64_t total_dropped = 0;
+    for (const auto &t : tracers)
+        total_dropped += t->dropped();
+    ASSERT_EQ(total_dropped, 0u)
         << "trace ring too small for this configuration";
-    CheckReport report = checkCoherence(tracer.events());
-    EXPECT_TRUE(report.ok()) << report.summary(tracer.events());
+    std::vector<std::vector<TraceEvent>> prefix(cfg.nodes);
+    std::vector<std::vector<TraceEvent>> suffix(cfg.nodes);
+    for (unsigned n = 0; n < cfg.nodes; ++n) {
+        std::vector<TraceEvent> ev = tracers[n]->events();
+        auto cut =
+            ev.begin() + static_cast<std::ptrdiff_t>(settled_count[n]);
+        prefix[n].assign(ev.begin(), cut);
+        suffix[n].assign(cut, ev.end());
+    }
+    std::vector<TraceEvent> trace = mergeShardTraces(prefix);
+    TraceEvent marker;
+    marker.tick = settled_tick;
+    marker.kind = TraceKind::Marker;
+    marker.value = markerSettled;
+    trace.push_back(marker);
+    std::vector<TraceEvent> tail = mergeShardTraces(suffix);
+    trace.insert(trace.end(), tail.begin(), tail.end());
+    CheckReport report = checkCoherence(trace);
+    EXPECT_TRUE(report.ok()) << report.summary(trace);
 #endif
 }
 
@@ -230,6 +270,11 @@ sweepConfigs()
             TesterConfig c = b;
             c.seed = seed++;
             out.push_back(c);
+            // The same traffic again under the parallel engine: the
+            // protocol races it provokes must stay clean when chips
+            // run on separate threads.
+            c.parallel = true;
+            out.push_back(c);
         }
     }
     return out;
@@ -239,9 +284,10 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, CoherenceRandomTest, ::testing::ValuesIn(sweepConfigs()),
     [](const ::testing::TestParamInfo<TesterConfig> &info) {
         const auto &c = info.param;
-        return strFormat("n%uc%ul%u_%llu", c.nodes, c.cpusPerChip,
+        return strFormat("n%uc%ul%u_%llu%s", c.nodes, c.cpusPerChip,
                          c.lines,
-                         static_cast<unsigned long long>(c.seed));
+                         static_cast<unsigned long long>(c.seed),
+                         c.parallel ? "_parallel" : "");
     });
 
 } // namespace

@@ -18,6 +18,7 @@ struct SuiteParam
 {
     std::size_t prog;
     std::uint64_t seed;
+    bool parallel; //!< drive the run with the parallel engine
 };
 
 class LitmusSuiteTest : public ::testing::TestWithParam<SuiteParam>
@@ -30,6 +31,7 @@ TEST_P(LitmusSuiteTest, CleanRunHasNoViolations)
         builtinLitmusPrograms()[GetParam().prog];
     LitmusRunOptions opt;
     opt.seed = GetParam().seed;
+    opt.parallel = GetParam().parallel;
     LitmusResult res = runLitmus(prog, opt);
 
     ASSERT_TRUE(res.completed) << prog.name << ": run did not converge";
@@ -52,8 +54,10 @@ allParams()
 {
     std::vector<SuiteParam> out;
     for (std::size_t p = 0; p < builtinLitmusPrograms().size(); ++p)
-        for (std::uint64_t seed = 1; seed <= 8; ++seed)
-            out.push_back({p, seed});
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            out.push_back({p, seed, false});
+            out.push_back({p, seed, true});
+        }
     return out;
 }
 
@@ -65,8 +69,9 @@ INSTANTIATE_TEST_SUITE_P(
         for (char &c : name)
             if (c == '-')
                 c = '_';
-        return strFormat("%s_seed%llu", name.c_str(),
-                         (unsigned long long)info.param.seed);
+        return strFormat("%s_seed%llu%s", name.c_str(),
+                         (unsigned long long)info.param.seed,
+                         info.param.parallel ? "_parallel" : "");
     });
 
 } // namespace
