@@ -60,6 +60,13 @@ usage()
         << "  --max-time-us U simulated-time bound per run\n"
         << "  --check-trace   attach the coherence checker to every\n"
         << "                  run (classifies silent corruption)\n"
+        << "  --exec TIER     execution tier: thread|process\n"
+        << "  --journal DIR   write-ahead job journal for --resume\n"
+        << "  --resume        skip journal-completed runs "
+           "(requires --journal)\n"
+        << "  --grace SEC     kill/abandon grace past --timeout\n"
+        << "  --timeout SEC   per-run host wall-clock timeout\n"
+        << "  --retries N     max attempts per run (default 1)\n"
         << "  --list-kinds    print the known fault kinds\n";
     return 2;
 }
@@ -144,12 +151,35 @@ main(int argc, char **argv)
                            ticksPerUs;
         } else if (arg == "--check-trace") {
             spec.checkTrace = true;
+        } else if (arg == "--exec" && i + 1 < argc) {
+            std::string e = argv[++i];
+            if (e == "process")
+                opts.exec = ExecTier::Process;
+            else if (e == "thread")
+                opts.exec = ExecTier::Thread;
+            else
+                return usage();
+        } else if (arg == "--journal" && i + 1 < argc) {
+            opts.journalDir = argv[++i];
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--grace" && i + 1 < argc) {
+            opts.killGraceSec = std::atof(argv[++i]);
+        } else if (arg == "--timeout" && i + 1 < argc) {
+            opts.jobTimeoutSec = std::atof(argv[++i]);
+        } else if (arg == "--retries" && i + 1 < argc) {
+            opts.maxAttempts =
+                static_cast<unsigned>(std::atoi(argv[++i]));
         } else {
             return usage();
         }
     }
     if (spec.injections == 0 || nodes == 0)
         return usage();
+    if (opts.resume && opts.journalDir.empty()) {
+        std::cerr << "--resume requires --journal DIR\n";
+        return 2;
+    }
 
     spec.config = configP8(nodes);
     if (workload == "oltp") {

@@ -292,8 +292,58 @@ usage()
         << "  --no-fastpath   force the evented L1-hit slow path\n"
         << "  --seeds N       seeds per litmus program (default 8)\n"
         << "  --record DIR    capture each job to DIR/<label>.ptrace\n"
-        << "  --replay PATH   run trace file(s) as replay jobs\n";
+        << "  --replay PATH   run trace file(s) as replay jobs\n"
+        << "  --exec TIER     execution tier: thread|process\n"
+        << "  --journal DIR   write-ahead job journal for --resume\n"
+        << "  --resume        skip journal-completed jobs "
+           "(requires --journal)\n"
+        << "  --grace SEC     kill/abandon grace past the timeout "
+           "(default 1)\n"
+        << "  --retries N     max attempts per job (default 1)\n"
+        << "  --chaos K@I     inject worker fault K at job index I\n"
+        << "                  (K: segv|kill|exit|hang|garbage; "
+           "repeatable,\n"
+        << "                  comma-separated; process tier only)\n"
+        << "  --chaos-all-attempts  chaos fires on retries too\n"
+        << "  --chaos-die-after N   supervisor _exit(42)s after its\n"
+        << "                  N-th recorded result (resume testing)\n";
     return 2;
+}
+
+/** Parse "--chaos kind@index[,kind@index...]" into @p chaos. */
+bool
+parseChaos(const std::string &arg, ProcessChaos &chaos)
+{
+    std::size_t pos = 0;
+    while (pos < arg.size()) {
+        std::size_t comma = arg.find(',', pos);
+        std::string item = arg.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        std::size_t at = item.find('@');
+        if (at == std::string::npos)
+            return false;
+        std::string kind = item.substr(0, at);
+        WorkerFault f;
+        if (kind == "segv")
+            f = WorkerFault::Segv;
+        else if (kind == "kill")
+            f = WorkerFault::Kill;
+        else if (kind == "exit")
+            f = WorkerFault::ExitNonZero;
+        else if (kind == "hang")
+            f = WorkerFault::Hang;
+        else if (kind == "garbage")
+            f = WorkerFault::Garbage;
+        else
+            return false;
+        char *end = nullptr;
+        unsigned long idx = std::strtoul(item.c_str() + at + 1, &end, 10);
+        if (!end || *end != '\0')
+            return false;
+        chaos.byIndex[static_cast<std::size_t>(idx)] = f;
+        pos = comma == std::string::npos ? arg.size() : comma + 1;
+    }
+    return !chaos.byIndex.empty();
 }
 
 /**
@@ -332,9 +382,14 @@ int
 runVerify(const SweepSpec &spec, SweepOptions opts)
 {
     const bool cross_engine = opts.engine == EngineKind::Parallel;
+    const bool cross_tier = opts.exec == ExecTier::Process;
     SweepOptions serial = opts;
     serial.threads = 1;
     serial.progress = nullptr;
+    // The reference pass always runs in-process on the thread tier;
+    // with --exec process the gate therefore proves the forked
+    // workers' pipe round trip reproduces in-process results exactly.
+    serial.exec = ExecTier::Thread;
     if (cross_engine) {
         serial.engine = EngineKind::Serial;
         serial.drainStop = true; // the parallel engine always drains
@@ -347,7 +402,8 @@ runVerify(const SweepSpec &spec, SweepOptions opts)
     std::cout << "verify: parallel pass ("
               << SweepRunner(opts).effectiveThreads(a.jobs.size())
               << " threads"
-              << (cross_engine ? ", sharded engine" : "") << ")..."
+              << (cross_engine ? ", sharded engine" : "")
+              << (cross_tier ? ", process tier" : "") << ")..."
               << std::endl;
     SweepOptions par = opts;
     par.progress = nullptr;
@@ -421,6 +477,31 @@ main(int argc, char **argv)
             record_dir = argv[++i];
         } else if (arg == "--replay" && i + 1 < argc) {
             replay_path = argv[++i];
+        } else if (arg == "--exec" && i + 1 < argc) {
+            std::string e = argv[++i];
+            if (e == "process")
+                opts.exec = ExecTier::Process;
+            else if (e == "thread")
+                opts.exec = ExecTier::Thread;
+            else
+                return usage();
+        } else if (arg == "--journal" && i + 1 < argc) {
+            opts.journalDir = argv[++i];
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--grace" && i + 1 < argc) {
+            opts.killGraceSec = std::atof(argv[++i]);
+        } else if (arg == "--retries" && i + 1 < argc) {
+            opts.maxAttempts =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--chaos" && i + 1 < argc) {
+            if (!parseChaos(argv[++i], opts.chaos))
+                return usage();
+        } else if (arg == "--chaos-all-attempts") {
+            opts.chaos.onAttempt = 0;
+        } else if (arg == "--chaos-die-after" && i + 1 < argc) {
+            opts.chaos.supervisorExitAfter =
+                static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--no-fastpath") {
             // Run every job through the evented L1-hit path; with
             // --verify this doubles as a fastpath-off determinism
@@ -441,6 +522,16 @@ main(int argc, char **argv)
         // The verify double-run would record each job twice into the
         // same files; the second pass would (correctly) refuse.
         std::cerr << "--record cannot be combined with --verify\n";
+        return 2;
+    }
+    if (opts.resume && opts.journalDir.empty()) {
+        std::cerr << "--resume requires --journal DIR\n";
+        return 2;
+    }
+    if (!opts.journalDir.empty() && verify) {
+        // The verify double-run would interleave two sweeps' records
+        // in one journal, making any later --resume ambiguous.
+        std::cerr << "--journal cannot be combined with --verify\n";
         return 2;
     }
 

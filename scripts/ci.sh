@@ -41,11 +41,21 @@
 #                                     coherence halves, cross-engine
 #                                     trace interop, and a sharded
 #                                     sweep --verify
+#   scripts/ci.sh crashsafe [build-dir]
+#                                     build + tests, then the crash-safe
+#                                     campaign gate (DESIGN.md §14): a
+#                                     process-tier quick sweep with
+#                                     injected worker crashes/hangs and
+#                                     a journal, the supervisor killed
+#                                     mid-sweep, then --resume — the
+#                                     final aggregate must be
+#                                     bit-identical (stats + stat
+#                                     trees) to a clean thread-tier run
 set -euo pipefail
 
 MODE=tier1
 case "${1:-}" in
-  asan|perf|faults|trace|tsan)
+  asan|perf|faults|trace|tsan|crashsafe)
     MODE=$1
     shift
     ;;
@@ -57,6 +67,7 @@ DEFAULT_DIR=build-ci
 [[ "$MODE" == "faults" ]] && DEFAULT_DIR=build-faults
 [[ "$MODE" == "trace" ]] && DEFAULT_DIR=build-trace
 [[ "$MODE" == "tsan" ]] && DEFAULT_DIR=build-tsan
+[[ "$MODE" == "crashsafe" ]] && DEFAULT_DIR=build-crashsafe
 BUILD_DIR="${1:-$DEFAULT_DIR}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
@@ -197,6 +208,87 @@ PYEOF
     # the bench is gating; the timing numbers are advisory (see
     # BENCH_trace.json for the committed reference).
     "$BUILD_DIR"/bench/trace_bench --repeat 2 --json BENCH_trace.ci.json
+fi
+
+if [[ "$MODE" == "crashsafe" ]]; then
+    # Process-tier identity gate first: forked workers' pipe round
+    # trip must reproduce in-process results bit-for-bit.
+    "$BUILD_DIR"/bench/sweep_main quick --verify --exec process \
+        --threads 4
+
+    # Clean thread-tier reference for the identity comparison below.
+    "$BUILD_DIR"/bench/sweep_main quick --serial \
+        --json CRASHSAFE_clean.json
+
+    # The crash run: process tier, journaled, three seeded worker
+    # faults (indices into the quick grid: 1 = P1/DSS segfaults,
+    # 5 = P4/DSS exits nonzero, 6 = P8/OLTP hangs through SIGTERM),
+    # retries on, and the supervisor kills itself right after its 5th
+    # recorded result — the deterministic stand-in for kill -9.
+    JDIR="$BUILD_DIR/crashsafe-journal"
+    rm -rf "$JDIR"
+    rc=0
+    "$BUILD_DIR"/bench/sweep_main quick --exec process --threads 2 \
+        --journal "$JDIR" --retries 2 --timeout 6 --grace 0.5 \
+        --chaos segv@1,exit@5,hang@6 --chaos-die-after 5 || rc=$?
+    if [[ "$rc" -ne 42 ]]; then
+        echo "FAIL: expected the chaos supervisor exit (42), got $rc" >&2
+        exit 1
+    fi
+    echo "supervisor killed mid-sweep as planned; resuming"
+
+    # Resume from the journal (same chaos plan: any re-run faulted job
+    # must crash once more and recover on its retry).
+    "$BUILD_DIR"/bench/sweep_main quick --exec process --threads 2 \
+        --journal "$JDIR" --resume --retries 2 --timeout 6 --grace 0.5 \
+        --chaos segv@1,exit@5,hang@6 \
+        --json CRASHSAFE_resumed.json
+
+    # Gating: the resumed report is bit-identical to the clean run on
+    # everything the experiment consumes (stats + stat trees), jobs
+    # were actually recovered from the journal, and every injected
+    # crash — including the hung worker the supervisor had to SIGKILL
+    # — cost exactly one retry, never a result.
+    python3 - <<'PYEOF'
+import json, sys
+clean = {j["label"]: j
+         for j in json.load(open("CRASHSAFE_clean.json"))["jobs"]}
+res = json.load(open("CRASHSAFE_resumed.json"))
+resumed = {j["label"]: j for j in res["jobs"]}
+if set(clean) != set(resumed):
+    print(f"FAIL: job labels differ: {sorted(set(clean) ^ set(resumed))}",
+          file=sys.stderr)
+    sys.exit(1)
+bad = 0
+for label in sorted(clean):
+    cj, rj = clean[label], resumed[label]
+    if rj["status"] != "ok":
+        print(f"FAIL: {label}: status {rj['status']} after resume",
+              file=sys.stderr)
+        bad += 1
+    elif cj["stats"] != rj["stats"]:
+        print(f"FAIL: {label}: resumed stats diverge from the clean run",
+              file=sys.stderr)
+        bad += 1
+    elif cj.get("stat_tree") != rj.get("stat_tree"):
+        print(f"FAIL: {label}: resumed stat tree diverges from the "
+              f"clean run", file=sys.stderr)
+        bad += 1
+if res.get("jobs_resumed", 0) < 1:
+    print("FAIL: no jobs were recovered from the journal",
+          file=sys.stderr)
+    bad += 1
+for label in ("P1/DSS", "P4/DSS", "P8/OLTP"):
+    if resumed[label].get("attempts", 1) != 2:
+        print(f"FAIL: {label}: expected exactly one crash retry, "
+              f"attempts = {resumed[label].get('attempts', 1)}",
+              file=sys.stderr)
+        bad += 1
+if bad:
+    sys.exit(1)
+print(f"{len(clean)} jobs bit-identical after crash + resume "
+      f"({res['jobs_resumed']} recovered from the journal)")
+PYEOF
 fi
 
 if [[ "$MODE" == "perf" ]]; then

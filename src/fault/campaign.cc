@@ -27,6 +27,19 @@ faultOutcomeName(FaultOutcome o)
 }
 
 FaultOutcome
+faultOutcomeFromName(const std::string &name)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(FaultOutcome::kNumOutcomes); ++i) {
+        FaultOutcome o = static_cast<FaultOutcome>(i);
+        if (name == faultOutcomeName(o))
+            return o;
+    }
+    throw std::runtime_error(
+        strFormat("unknown fault outcome '%s'", name.c_str()));
+}
+
+FaultOutcome
 classifyRun(const RunResult &r, bool checker_ok, bool checker_ran)
 {
     if (r.machineCheck)
@@ -58,6 +71,116 @@ CampaignReport::histogram() const
     return h;
 }
 
+namespace {
+
+struct CounterField
+{
+    const char *key;
+    std::uint64_t FaultCounters::*member;
+};
+
+// Order matters: it is the report's serialized field order.
+const CounterField kCounterFields[] = {
+    {"fired", &FaultCounters::fired},
+    {"no_site", &FaultCounters::noSite},
+    {"ecc_corrected_data", &FaultCounters::eccCorrectedData},
+    {"ecc_corrected_check", &FaultCounters::eccCorrectedCheck},
+    {"ecc_uncorrectable", &FaultCounters::eccUncorrectable},
+    {"scrub_writes", &FaultCounters::scrubWrites},
+    {"ecc_masked_by_write", &FaultCounters::eccMaskedByWrite},
+    {"dir_flips", &FaultCounters::dirFlips},
+    {"l1_parity_refetch", &FaultCounters::l1ParityRefetch},
+    {"l2_parity_refetch", &FaultCounters::l2ParityRefetch},
+    {"parity_masked_by_overwrite",
+     &FaultCounters::parityMaskedByOverwrite},
+    {"ics_dropped", &FaultCounters::icsDropped},
+    {"ics_duplicated", &FaultCounters::icsDuplicated},
+    {"ics_delayed", &FaultCounters::icsDelayed},
+    {"net_dropped", &FaultCounters::netDropped},
+    {"net_retransmits", &FaultCounters::netRetransmits},
+    {"net_duplicated", &FaultCounters::netDuplicated},
+    {"net_dup_filtered", &FaultCounters::netDupFiltered},
+    {"net_delayed", &FaultCounters::netDelayed},
+    {"mem_stalls", &FaultCounters::memStalls},
+    {"machine_checks", &FaultCounters::machineChecks},
+};
+
+} // namespace
+
+JsonValue
+injectionRecordToJson(const InjectionRecord &r, bool include_dumps)
+{
+    JsonValue jo = JsonValue::object();
+    jo.set("seed", static_cast<double>(r.seed));
+    jo.set("outcome", faultOutcomeName(r.outcome));
+    if (r.engineFallback)
+        jo.set("engine_fallback", true);
+    if (!r.detail.empty())
+        jo.set("detail", r.detail);
+    if (!r.faults.empty()) {
+        JsonValue fa = JsonValue::array();
+        for (const FiredFault &f : r.faults) {
+            JsonValue fo = JsonValue::object();
+            fo.set("kind", faultKindName(f.kind));
+            fo.set("at_ps", static_cast<double>(f.at));
+            fo.set("node", static_cast<double>(f.node));
+            fo.set("site", f.site);
+            fa.append(std::move(fo));
+        }
+        jo.set("fired", std::move(fa));
+    }
+    JsonValue co = JsonValue::object();
+    for (const CounterField &cf : kCounterFields)
+        if (std::uint64_t v = r.counters.*cf.member)
+            co.set(cf.key, static_cast<double>(v));
+    jo.set("counters", std::move(co));
+    if (!r.stats.empty()) {
+        JsonValue st = JsonValue::object();
+        for (const auto &[k, v] : r.stats)
+            st.set(k, v);
+        jo.set("stats", std::move(st));
+    }
+    if (include_dumps && !r.watchdogDump.empty())
+        jo.set("watchdog_dump", r.watchdogDump);
+    return jo;
+}
+
+InjectionRecord
+injectionRecordFromJson(const JsonValue &v)
+{
+    InjectionRecord r;
+    r.seed = static_cast<std::uint64_t>(v.at("seed").asNumber());
+    r.outcome = faultOutcomeFromName(v.at("outcome").asString());
+    if (const JsonValue *f = v.find("engine_fallback"))
+        r.engineFallback = f->asBool();
+    if (const JsonValue *d = v.find("detail"))
+        r.detail = d->asString();
+    if (const JsonValue *fa = v.find("fired")) {
+        for (std::size_t i = 0; i < fa->size(); ++i) {
+            const JsonValue &fo = fa->at(i);
+            FiredFault f;
+            f.kind =
+                faultKindFromName(fo.at("kind").asString().c_str());
+            f.at = static_cast<Tick>(fo.at("at_ps").asNumber());
+            f.node =
+                static_cast<unsigned>(fo.at("node").asNumber());
+            f.site = fo.at("site").asString();
+            r.faults.push_back(std::move(f));
+        }
+    }
+    if (const JsonValue *co = v.find("counters"))
+        for (const CounterField &cf : kCounterFields)
+            if (const JsonValue *cv = co->find(cf.key))
+                r.counters.*cf.member =
+                    static_cast<std::uint64_t>(cv->asNumber());
+    if (const JsonValue *st = v.find("stats"))
+        for (const std::string &k : st->keys())
+            r.stats[k] = st->at(k).asNumber();
+    if (const JsonValue *wd = v.find("watchdog_dump"))
+        r.watchdogDump = wd->asString();
+    return r;
+}
+
 JsonValue
 CampaignReport::toJson(bool include_dumps) const
 {
@@ -73,61 +196,8 @@ CampaignReport::toJson(bool include_dumps) const
     root.set("histogram", std::move(hist));
 
     JsonValue jarr = JsonValue::array();
-    for (const InjectionRecord &r : runs) {
-        JsonValue jo = JsonValue::object();
-        jo.set("seed", static_cast<double>(r.seed));
-        jo.set("outcome", faultOutcomeName(r.outcome));
-        if (!r.detail.empty())
-            jo.set("detail", r.detail);
-        if (!r.faults.empty()) {
-            JsonValue fa = JsonValue::array();
-            for (const FiredFault &f : r.faults) {
-                JsonValue fo = JsonValue::object();
-                fo.set("kind", faultKindName(f.kind));
-                fo.set("at_ps", static_cast<double>(f.at));
-                fo.set("node", static_cast<double>(f.node));
-                fo.set("site", f.site);
-                fa.append(std::move(fo));
-            }
-            jo.set("fired", std::move(fa));
-        }
-        JsonValue co = JsonValue::object();
-        const FaultCounters &c = r.counters;
-        auto put = [&co](const char *k, std::uint64_t v) {
-            if (v)
-                co.set(k, static_cast<double>(v));
-        };
-        put("fired", c.fired);
-        put("no_site", c.noSite);
-        put("ecc_corrected_data", c.eccCorrectedData);
-        put("ecc_corrected_check", c.eccCorrectedCheck);
-        put("ecc_uncorrectable", c.eccUncorrectable);
-        put("scrub_writes", c.scrubWrites);
-        put("ecc_masked_by_write", c.eccMaskedByWrite);
-        put("dir_flips", c.dirFlips);
-        put("l1_parity_refetch", c.l1ParityRefetch);
-        put("l2_parity_refetch", c.l2ParityRefetch);
-        put("ics_dropped", c.icsDropped);
-        put("ics_duplicated", c.icsDuplicated);
-        put("ics_delayed", c.icsDelayed);
-        put("net_dropped", c.netDropped);
-        put("net_retransmits", c.netRetransmits);
-        put("net_duplicated", c.netDuplicated);
-        put("net_dup_filtered", c.netDupFiltered);
-        put("net_delayed", c.netDelayed);
-        put("mem_stalls", c.memStalls);
-        put("machine_checks", c.machineChecks);
-        jo.set("counters", std::move(co));
-        if (!r.stats.empty()) {
-            JsonValue st = JsonValue::object();
-            for (const auto &[k, v] : r.stats)
-                st.set(k, v);
-            jo.set("stats", std::move(st));
-        }
-        if (include_dumps && !r.watchdogDump.empty())
-            jo.set("watchdog_dump", r.watchdogDump);
-        jarr.append(std::move(jo));
-    }
+    for (const InjectionRecord &r : runs)
+        jarr.append(injectionRecordToJson(r, include_dumps));
     root.set("runs", std::move(jarr));
     return root;
 }
@@ -148,10 +218,10 @@ CampaignReport::writeJsonFile(const std::string &path,
 
 namespace {
 
-/** Body of one injected run; fills @p rec, returns the job result. */
+/** Body of one injected run: a self-contained CustomResult whose
+ *  payload carries the full InjectionRecord. */
 CustomResult
-runInjection(const CampaignSpec &spec, std::uint64_t seed,
-             InjectionRecord &rec)
+runInjection(const CampaignSpec &spec, std::uint64_t seed)
 {
     SystemConfig cfg = spec.config;
     cfg.faults = spec.planTemplate;
@@ -168,6 +238,7 @@ runInjection(const CampaignSpec &spec, std::uint64_t seed,
     PanicThrowsGuard panic_guard;
 
     CustomResult cr;
+    InjectionRecord rec;
     rec.seed = seed;
     try {
         std::unique_ptr<Workload> wl = spec.workload.make();
@@ -182,6 +253,7 @@ runInjection(const CampaignSpec &spec, std::uint64_t seed,
         rec.faults = run.firedFaults;
         rec.watchdogDump = run.watchdogDump;
         rec.stats = flattenRunResult(run);
+        rec.engineFallback = run.engineFallback;
 
         bool checker_ran = false, checker_ok = true;
         if (spec.checkTrace) {
@@ -218,6 +290,7 @@ runInjection(const CampaignSpec &spec, std::uint64_t seed,
         cr.ok = false;
         cr.error = e.what();
     }
+    cr.payload = injectionRecordToJson(rec, true);
     return cr;
 }
 
@@ -226,22 +299,17 @@ runInjection(const CampaignSpec &spec, std::uint64_t seed,
 CampaignReport
 CampaignRunner::run(const CampaignSpec &spec) const
 {
-    // Records are pre-sized and each job writes only its own slot, so
-    // the pool threads never contend.
-    std::vector<InjectionRecord> records(spec.injections);
     std::vector<SweepPoint> points;
     points.reserve(spec.injections);
     for (unsigned i = 0; i < spec.injections; ++i) {
         std::uint64_t seed = spec.baseSeed + i;
-        records[i].seed = seed;
-        InjectionRecord *rec = &records[i];
         SweepPoint pt;
         pt.label = strFormat("%s/seed%llu", spec.name.c_str(),
                              static_cast<unsigned long long>(seed));
         pt.maxTime = spec.maxTime;
-        pt.custom = [&spec, seed, rec] {
-            return runInjection(spec, seed, *rec);
-        };
+        // By value: a leaked thread-tier worker (or a forked process
+        // worker) must never chase references into this frame.
+        pt.custom = [spec, seed] { return runInjection(spec, seed); };
         points.push_back(std::move(pt));
     }
 
@@ -253,11 +321,29 @@ CampaignRunner::run(const CampaignSpec &spec) const
     report.hostSeconds = sr.hostSeconds;
     report.runs.reserve(spec.injections);
     for (unsigned i = 0; i < spec.injections; ++i) {
+        const JobResult &jr = sr.jobs[i];
         // Cancelled jobs (SIGINT drain) never ran; leaving them out
         // keeps the partial report's histogram honest.
-        if (sr.jobs[i].status == JobStatus::Cancelled)
+        if (jr.status == JobStatus::Cancelled)
             continue;
-        report.runs.push_back(std::move(records[i]));
+        if (!jr.payload.isNull()) {
+            // The payload carries the record whether the job ran in
+            // this process, a forked worker, or a resumed journal.
+            report.runs.push_back(
+                injectionRecordFromJson(jr.payload));
+        } else {
+            // No payload at all: the worker died before reporting
+            // (crash-class process exit). Record the host failure.
+            InjectionRecord rec;
+            rec.seed = spec.baseSeed + i;
+            rec.outcome = FaultOutcome::Failed;
+            rec.detail = jr.error.empty() ? "worker produced no result"
+                                          : jr.error;
+            if (!jr.exitClass.empty())
+                rec.detail += strFormat(" [exit class: %s]",
+                                        jr.exitClass.c_str());
+            report.runs.push_back(std::move(rec));
+        }
     }
     return report;
 }

@@ -99,7 +99,28 @@ struct InjectionRecord
                                         //!< checker / error text
     std::string watchdogDump;           //!< non-empty when Hang
     std::map<std::string, double> stats; //!< flattened RunResult
+
+    /** The run asked for the parallel intra-run engine but was forced
+     *  back to the serial engine (fault plans pin the event schedule).
+     *  Recorded in the report instead of only warned on stderr. */
+    bool engineFallback = false;
 };
+
+/** Parse faultOutcomeName output; throws std::runtime_error on
+ *  unknown names. */
+FaultOutcome faultOutcomeFromName(const std::string &name);
+
+/**
+ * Serialize / parse one injection record as the per-run JSON object
+ * of the campaign report schema. The record rides through the sweep
+ * job's payload (CustomResult::payload), which is what lets campaign
+ * results survive the process-tier worker pipe and the job journal —
+ * there is no shared-memory side channel between an injection body
+ * and the campaign aggregator.
+ */
+JsonValue injectionRecordToJson(const InjectionRecord &r,
+                                bool include_dumps = true);
+InjectionRecord injectionRecordFromJson(const JsonValue &v);
 
 /** Executed campaign: per-injection records + outcome histogram. */
 struct CampaignReport

@@ -68,6 +68,16 @@ jobStatusName(JobStatus s)
     return "?";
 }
 
+JobStatus
+jobStatusFromName(const std::string &name)
+{
+    for (JobStatus s : {JobStatus::Ok, JobStatus::Failed,
+                        JobStatus::TimedOut, JobStatus::Cancelled})
+        if (name == jobStatusName(s))
+            return s;
+    throw std::runtime_error("unknown job status \"" + name + "\"");
+}
+
 std::map<std::string, double>
 flattenRunResult(const RunResult &r)
 {
@@ -121,11 +131,141 @@ SweepReport::count(JobStatus s) const
 }
 
 JsonValue
+jobResultToJson(const JobResult &j, bool include_stat_tree)
+{
+    JsonValue jo = JsonValue::object();
+    jo.set("label", j.label);
+    jo.set("status", jobStatusName(j.status));
+    jo.set("config", j.run.config);
+    jo.set("workload", j.run.workload);
+    jo.set("host_seconds", j.hostSeconds);
+    if (j.attempts > 1)
+        jo.set("attempts", static_cast<double>(j.attempts));
+    jo.set("events_per_host_sec", j.eventsPerHostSec);
+    if (!j.error.empty())
+        jo.set("error", j.error);
+    // Execution-tier metadata (never part of the bit-identity
+    // comparison set, which is label + status + stats + stat_tree).
+    if (!j.exitClass.empty())
+        jo.set("exit_class", j.exitClass);
+    if (j.leakedWorker)
+        jo.set("leaked_worker", true);
+    if (j.fromJournal)
+        jo.set("resumed", true);
+    if (j.transient)
+        jo.set("transient", true);
+    if (j.run.engineFallback)
+        jo.set("engine_fallback", true);
+    if (!j.crashReport.empty())
+        jo.set("crash_report", j.crashReport);
+    if (j.status == JobStatus::Ok) {
+        JsonValue stats = JsonValue::object();
+        for (const auto &[k, v] : j.stats)
+            stats.set(k, v);
+        jo.set("stats", std::move(stats));
+        // Host-side instrumentation lives outside "stats" so that
+        // bit-identity comparisons over the stats map ignore it.
+        if (j.run.l1FastHits || j.run.fastEventedHits ||
+            j.run.fastInlineHits || j.run.l1RespondEvents) {
+            JsonValue fp = JsonValue::object();
+            fp.set("inline_hits",
+                   static_cast<double>(j.run.fastInlineHits));
+            fp.set("evented_hits",
+                   static_cast<double>(j.run.fastEventedHits));
+            fp.set("l1_fast_hits",
+                   static_cast<double>(j.run.l1FastHits));
+            fp.set("l1_respond_events",
+                   static_cast<double>(j.run.l1RespondEvents));
+            jo.set("fastpath", std::move(fp));
+        }
+        if (!j.run.profile.empty()) {
+            JsonValue hp = JsonValue::object();
+            for (const auto &[zone, sec] : j.run.profile)
+                hp.set(zone, sec);
+            jo.set("host_profile", std::move(hp));
+        }
+        if (include_stat_tree && !j.statTree.isNull())
+            jo.set("stat_tree", j.statTree);
+    }
+    if (!j.payload.isNull())
+        jo.set("payload", j.payload);
+    return jo;
+}
+
+JobResult
+jobResultFromJson(const JsonValue &v)
+{
+    auto num = [&v](const char *k, double dflt) {
+        const JsonValue *f = v.find(k);
+        return f && f->isNumber() ? f->asNumber() : dflt;
+    };
+    auto str = [&v](const char *k) -> std::string {
+        const JsonValue *f = v.find(k);
+        return f && f->isString() ? f->asString() : std::string();
+    };
+    auto flag = [&v](const char *k) {
+        const JsonValue *f = v.find(k);
+        return f && f->isBool() && f->asBool();
+    };
+
+    JobResult j;
+    j.label = v.at("label").asString();
+    j.status = jobStatusFromName(v.at("status").asString());
+    j.run.config = str("config");
+    j.run.workload = str("workload");
+    j.hostSeconds = num("host_seconds", 0);
+    j.attempts = static_cast<unsigned>(num("attempts", 1));
+    j.eventsPerHostSec = num("events_per_host_sec", 0);
+    j.error = str("error");
+    j.exitClass = str("exit_class");
+    j.leakedWorker = flag("leaked_worker");
+    j.transient = flag("transient");
+    j.run.engineFallback = flag("engine_fallback");
+    j.crashReport = str("crash_report");
+    // "resumed" is a property of the run that loaded the journal, not
+    // of the recorded result — the loader sets fromJournal itself.
+    if (const JsonValue *stats = v.find("stats"); stats &&
+        stats->isObject()) {
+        for (size_t i = 0; i < stats->size(); ++i)
+            j.stats[stats->keys()[i]] = stats->items()[i].asNumber();
+        auto it = j.stats.find("events_executed");
+        if (it != j.stats.end())
+            j.run.eventsExecuted =
+                static_cast<std::uint64_t>(it->second);
+        it = j.stats.find("events_equivalent");
+        if (it != j.stats.end())
+            j.run.eventsEquivalent =
+                static_cast<std::uint64_t>(it->second);
+    }
+    if (const JsonValue *fp = v.find("fastpath"); fp && fp->isObject()) {
+        auto fpnum = [fp](const char *k) -> std::uint64_t {
+            const JsonValue *f = fp->find(k);
+            return f ? static_cast<std::uint64_t>(f->asNumber()) : 0;
+        };
+        j.run.fastInlineHits = fpnum("inline_hits");
+        j.run.fastEventedHits = fpnum("evented_hits");
+        j.run.l1FastHits = fpnum("l1_fast_hits");
+        j.run.l1RespondEvents = fpnum("l1_respond_events");
+    }
+    if (const JsonValue *hp = v.find("host_profile"); hp &&
+        hp->isObject()) {
+        for (size_t i = 0; i < hp->size(); ++i)
+            j.run.profile[hp->keys()[i]] = hp->items()[i].asNumber();
+    }
+    if (const JsonValue *st = v.find("stat_tree"))
+        j.statTree = *st;
+    if (const JsonValue *pl = v.find("payload"))
+        j.payload = *pl;
+    return j;
+}
+
+JsonValue
 SweepReport::toJson(bool include_stat_tree) const
 {
     JsonValue root = JsonValue::object();
     root.set("sweep", name);
     root.set("threads", static_cast<double>(threads));
+    root.set("exec", exec);
     root.set("host_seconds", hostSeconds);
     root.set("interrupted", interrupted);
     root.set("jobs_total", static_cast<double>(jobs.size()));
@@ -135,50 +275,28 @@ SweepReport::toJson(bool include_stat_tree) const
     root.set("jobs_cancelled",
              static_cast<double>(count(JobStatus::Cancelled)));
 
-    JsonValue jarr = JsonValue::array();
+    unsigned leaked = 0, resumed = 0;
+    std::map<std::string, unsigned> exit_classes;
     for (const JobResult &j : jobs) {
-        JsonValue jo = JsonValue::object();
-        jo.set("label", j.label);
-        jo.set("status", jobStatusName(j.status));
-        jo.set("config", j.run.config);
-        jo.set("workload", j.run.workload);
-        jo.set("host_seconds", j.hostSeconds);
-        if (j.attempts > 1)
-            jo.set("attempts", static_cast<double>(j.attempts));
-        jo.set("events_per_host_sec", j.eventsPerHostSec);
-        if (!j.error.empty())
-            jo.set("error", j.error);
-        if (j.status == JobStatus::Ok) {
-            JsonValue stats = JsonValue::object();
-            for (const auto &[k, v] : j.stats)
-                stats.set(k, v);
-            jo.set("stats", std::move(stats));
-            // Host-side instrumentation lives outside "stats" so that
-            // bit-identity comparisons over the stats map ignore it.
-            if (j.run.l1FastHits || j.run.fastEventedHits ||
-                j.run.fastInlineHits || j.run.l1RespondEvents) {
-                JsonValue fp = JsonValue::object();
-                fp.set("inline_hits",
-                       static_cast<double>(j.run.fastInlineHits));
-                fp.set("evented_hits",
-                       static_cast<double>(j.run.fastEventedHits));
-                fp.set("l1_fast_hits",
-                       static_cast<double>(j.run.l1FastHits));
-                fp.set("l1_respond_events",
-                       static_cast<double>(j.run.l1RespondEvents));
-                jo.set("fastpath", std::move(fp));
-            }
-            if (!j.run.profile.empty()) {
-                JsonValue hp = JsonValue::object();
-                for (const auto &[zone, sec] : j.run.profile)
-                    hp.set(zone, sec);
-                jo.set("host_profile", std::move(hp));
-            }
-            if (include_stat_tree && !j.statTree.isNull())
-                jo.set("stat_tree", j.statTree);
-        }
-        jarr.append(std::move(jo));
+        leaked += j.leakedWorker;
+        resumed += j.fromJournal;
+        if (!j.exitClass.empty())
+            ++exit_classes[j.exitClass];
     }
+    if (leaked)
+        root.set("jobs_leaked", static_cast<double>(leaked));
+    if (resumed)
+        root.set("jobs_resumed", static_cast<double>(resumed));
+    if (!exit_classes.empty()) {
+        JsonValue ec = JsonValue::object();
+        for (const auto &[k, v] : exit_classes)
+            ec.set(k, static_cast<double>(v));
+        root.set("exit_classes", std::move(ec));
+    }
+
+    JsonValue jarr = JsonValue::array();
+    for (const JobResult &j : jobs)
+        jarr.append(jobResultToJson(j, include_stat_tree));
     root.set("jobs", std::move(jarr));
     return root;
 }

@@ -48,6 +48,15 @@ struct CustomResult
     bool ok = true;
     std::string error;                   //!< failure description
     std::map<std::string, double> stats; //!< named stats for the report
+
+    /**
+     * Opaque structured result carried alongside the flat stats. The
+     * campaign runner uses this to ship the full InjectionRecord
+     * through the job result, so it survives the process-tier worker
+     * pipe and the job journal (DESIGN.md §14) instead of relying on
+     * shared-memory side channels.
+     */
+    JsonValue payload;
 };
 
 /** One runnable job: a configuration under a workload. */
@@ -115,6 +124,10 @@ enum class JobStatus { Ok, Failed, TimedOut, Cancelled };
 
 const char *jobStatusName(JobStatus s);
 
+/** Parse jobStatusName output; throws std::runtime_error on unknown
+ *  names (journal / worker-pipe deserialization). */
+JobStatus jobStatusFromName(const std::string &name);
+
 /** Result of one executed sweep job. */
 struct JobResult
 {
@@ -122,7 +135,9 @@ struct JobResult
     JobStatus status = JobStatus::Ok;
     std::string error;   //!< exception text when status == Failed
 
-    /** Executions the job took (> 1 only after TransientError). */
+    /** Executions the job took (> 1 only after a retryable failure:
+     *  TransientError, or a crash-class worker exit on the process
+     *  tier). */
     unsigned attempts = 1;
 
     RunResult run;                        //!< valid when status == Ok
@@ -132,7 +147,52 @@ struct JobResult
     /** Kernel events per host second — a host-timing figure, kept
      *  out of `stats` so bit-identity comparisons ignore it. */
     double eventsPerHostSec = 0;
+
+    /**
+     * Process-tier exit classification of the job's final attempt:
+     * "ok", "exit", "signal", "timeout", "oom" or "protocol"
+     * (DESIGN.md §14). Empty on the thread tier.
+     */
+    std::string exitClass;
+
+    /**
+     * The thread tier abandoned this job's worker thread: it ignored
+     * the cooperative timeout past the grace window, so its result
+     * slot was closed (TimedOut) and the thread was leaked — it can
+     * never write into sweep state again, and its pool slot is not
+     * reused. Only the process tier can reclaim such a job for real.
+     */
+    bool leakedWorker = false;
+
+    /** Result was recovered from a job journal by --resume rather
+     *  than executed in this run. */
+    bool fromJournal = false;
+
+    /** The final failure was a TransientError (wire metadata: the
+     *  process supervisor retries these across worker processes). */
+    bool transient = false;
+
+    /** Best-effort diagnostic dump written by a crashing worker's
+     *  signal handler (the PR 5 watchdog dump format). */
+    std::string crashReport;
+
+    /** Opaque structured result from a custom job body (see
+     *  CustomResult::payload). */
+    JsonValue payload;
 };
+
+/**
+ * Serialize / parse one job result as the per-job JSON object of the
+ * sweep report schema. The round trip preserves every field the
+ * aggregate report and the bit-identity comparisons consume (flat
+ * stats, stat tree, status, error, fastpath/profile instrumentation,
+ * payload), which is what makes a --resume'd report provably
+ * identical to an uninterrupted run: journal-recovered jobs re-enter
+ * the report through exactly this path.
+ */
+JsonValue jobResultToJson(const JobResult &j,
+                          bool include_stat_tree = true);
+JobResult jobResultFromJson(const JsonValue &v);
 
 /** Flatten a RunResult into the report's named-stat map. */
 std::map<std::string, double> flattenRunResult(const RunResult &r);
@@ -152,6 +212,8 @@ struct SweepReport
 {
     std::string name;
     unsigned threads = 1;
+    /** Execution tier that ran the jobs: "thread" or "process". */
+    std::string exec = "thread";
     double hostSeconds = 0;
     /** Cancellation (SweepOptions::cancel) stopped the sweep early:
      *  in-flight jobs were drained, queued ones marked Cancelled. The

@@ -21,10 +21,60 @@
 
 #include <atomic>
 #include <iosfwd>
+#include <map>
 
 #include "harness/sweep.h"
 
 namespace piranha {
+
+/**
+ * Which tier executes the jobs.
+ *
+ * Thread: the original host-thread pool. Cheap, but isolation is
+ * cooperative — a worker that segfaults takes the sweep down, and a
+ * worker that ignores the abort hook can only be abandoned (leaked),
+ * never reclaimed.
+ *
+ * Process: one forked worker process per job (DESIGN.md §14). A
+ * crashing/hanging/OOM-killed worker costs exactly its own job: the
+ * supervisor classifies the exit, SIGKILLs hung workers after a
+ * grace period, and retries crash-class exits with bounded
+ * exponential backoff.
+ */
+enum class ExecTier { Thread, Process };
+
+/**
+ * Seeded worker misbehaviour for supervisor fault-injection tests
+ * (process tier only). This is the same philosophy as the PR 5 fault
+ * campaigns, one level up: prove the supervisor survives and
+ * classifies every way a worker can die.
+ */
+enum class WorkerFault
+{
+    None,
+    Segv,        //!< raise SIGSEGV before running the job
+    Kill,        //!< raise SIGKILL (mimics the host OOM killer)
+    ExitNonZero, //!< _exit(17) without writing a result frame
+    Hang,        //!< ignore SIGTERM and pause() forever
+    Garbage,     //!< write malformed bytes instead of a result frame
+};
+
+/** Fault plan for the process tier itself (tests / ci.sh crashsafe). */
+struct ProcessChaos
+{
+    /** Job index (in the expanded point vector) -> injected fault. */
+    std::map<std::size_t, WorkerFault> byIndex;
+
+    /** Attempt the fault fires on; 0 = every attempt. The default (1)
+     *  makes retried jobs succeed, so a chaos run's final report is
+     *  provably identical to a clean run modulo attempt metadata. */
+    unsigned onAttempt = 1;
+
+    /** When > 0, the supervisor _exit(42)s right after recording its
+     *  N-th job result — a deterministic stand-in for kill -9 on the
+     *  supervisor, used to test --resume. */
+    unsigned supervisorExitAfter = 0;
+};
 
 /** Execution options for a sweep. */
 struct SweepOptions
@@ -49,8 +99,11 @@ struct SweepOptions
      */
     unsigned maxAttempts = 1;
 
-    /** Linear backoff between attempts: attempt k sleeps
-     *  k * retryBackoffSec before re-running. */
+    /** Backoff base between attempts. Thread tier: attempt k sleeps
+     *  k * retryBackoffSec (linear, as in PR 5). Process tier: the
+     *  supervisor sleeps retryBackoffSec * 2^(k-1), capped at 10 s
+     *  (exponential — crash-class retries also contend for host
+     *  resources, so back off harder). */
     double retryBackoffSec = 0.1;
 
     /**
@@ -78,6 +131,40 @@ struct SweepOptions
      * --engine parallel) must drain too.
      */
     bool drainStop = false;
+
+    /** Execution tier (see ExecTier). Thread stays the default so
+     *  existing tests and callers are byte-for-byte unaffected. */
+    ExecTier exec = ExecTier::Thread;
+
+    /**
+     * Write-ahead job journal directory (empty = journaling off).
+     * Each job's launch is recorded before it starts and its full
+     * result is fsynced when it finishes, so a killed sweep can be
+     * resumed (DESIGN.md §14).
+     */
+    std::string journalDir;
+
+    /**
+     * Resume from journalDir: jobs with a valid completion record are
+     * loaded into the report (flagged fromJournal) instead of re-run;
+     * in-flight, cancelled, and damaged-record jobs re-run. The
+     * resumed aggregate report is bit-identical (modulo attempt /
+     * exit-class / resumed metadata) to an uninterrupted run.
+     */
+    bool resume = false;
+
+    /**
+     * Grace period for reclaiming unresponsive workers. Process tier:
+     * a worker still alive killGraceSec after its cooperative timeout
+     * gets SIGTERM, and SIGKILL killGraceSec later. Thread tier: a
+     * worker thread still running killGraceSec past its timeout is
+     * abandoned — its job is recorded TimedOut with leaked_worker set
+     * and its pool slot is never reused (threads cannot be killed).
+     */
+    double killGraceSec = 1.0;
+
+    /** Supervisor fault injection (tests / CI crashsafe stage). */
+    ProcessChaos chaos;
 };
 
 /** Executes sweep jobs on a host-thread pool. */

@@ -375,6 +375,8 @@ PiranhaSystem::run(Workload &wl, std::uint64_t work_per_cpu,
     RunResult r;
     r.config = _cfg.name;
     r.workload = wl.name();
+    r.engineFallback =
+        _cfg.engine == EngineKind::Parallel && !_parallel;
     r.aborted = aborted;
     r.watchdogTripped = wd_tripped;
     r.watchdogReason = std::move(wd_reason);

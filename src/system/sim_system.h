@@ -79,6 +79,15 @@ struct RunResult
     std::uint64_t parallelEpochs = 0;    //!< barrier windows executed
     std::vector<double> shardHostSeconds; //!< per-worker host seconds
 
+    /**
+     * The config asked for the parallel engine but the system forced
+     * the serial fallback (fault plan or shared tracer attached).
+     * Recorded here — and as `engine_fallback` in the sweep/campaign
+     * JSON reports — so report consumers can detect it instead of
+     * having to scrape the stderr warning.
+     */
+    bool engineFallback = false;
+
     /** True when the run was stopped by an abort check or max_time. */
     bool aborted = false;
 

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/piranha.h"
 #include "stats/json.h"
@@ -150,6 +152,86 @@ TEST(SweepRunner, HostTimeoutStopsRunawayJob)
     JobResult jr = SweepRunner(opts).runJob(pt);
     EXPECT_EQ(jr.status, JobStatus::TimedOut);
     EXPECT_FALSE(jr.error.empty());
+}
+
+/**
+ * A worker that ignores the cooperative timeout entirely (custom jobs
+ * never see the abort hook) used to wedge its pool slot for as long
+ * as it pleased. Now the monitor abandons it after the grace window:
+ * the job is closed as TimedOut with leaked_worker set, the sweep
+ * finishes without waiting for the stuck thread, and the leaked
+ * thread can never write into sweep state again.
+ */
+TEST(SweepRunner, UnresponsiveWorkerIsAbandonedAndFlagged)
+{
+    std::vector<SweepPoint> pts;
+    SweepPoint stuck;
+    stuck.label = "stuck";
+    stuck.custom = []() -> CustomResult {
+        std::this_thread::sleep_for(std::chrono::seconds(2));
+        return {};
+    };
+    pts.push_back(stuck);
+    for (int i = 0; i < 2; ++i) {
+        SweepPoint ok;
+        ok.label = "ok" + std::to_string(i);
+        ok.custom = []() -> CustomResult {
+            CustomResult cr;
+            cr.stats["ran"] = 1;
+            return cr;
+        };
+        pts.push_back(ok);
+    }
+
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.jobTimeoutSec = 0.05;
+    opts.killGraceSec = 0.1;
+    auto t0 = std::chrono::steady_clock::now();
+    SweepReport rep = SweepRunner(opts).run("leak", pts);
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    // Returned long before the stuck thread's 2 s sleep finished.
+    EXPECT_LT(elapsed, 1.5);
+    EXPECT_EQ(rep.jobs[0].status, JobStatus::TimedOut);
+    EXPECT_TRUE(rep.jobs[0].leakedWorker);
+    EXPECT_EQ(rep.jobs[1].status, JobStatus::Ok);
+    EXPECT_EQ(rep.jobs[2].status, JobStatus::Ok);
+
+    // The leak is report-visible, not just a stderr line.
+    JsonValue root = rep.toJson(false);
+    EXPECT_EQ(root.at("jobs_leaked").asNumber(), 1.0);
+    EXPECT_TRUE(
+        root.at("jobs").at(0).at("leaked_worker").asBool());
+}
+
+/**
+ * Configurations that force the parallel intra-run engine back to the
+ * serial engine (fault plans pin the event schedule) used to say so
+ * only on stderr; the fallback is now recorded per job in the report.
+ */
+TEST(SweepReport, EngineFallbackIsRecordedInJson)
+{
+    SweepPoint faulted = smallPoint("faulted", 2, 16);
+    faulted.config.faults.enabled = true;
+    faulted.config.faults.count = 1;
+    std::vector<SweepPoint> pts = {smallPoint("plain", 2, 16),
+                                   faulted};
+
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.engine = EngineKind::Parallel;
+    SweepReport rep = SweepRunner(opts).run("fallback", pts);
+
+    ASSERT_EQ(rep.jobs.size(), 2u);
+    EXPECT_FALSE(rep.jobs[0].run.engineFallback);
+    EXPECT_TRUE(rep.jobs[1].run.engineFallback);
+
+    JsonValue root = rep.toJson(false);
+    EXPECT_EQ(root.at("jobs").at(0).find("engine_fallback"), nullptr);
+    EXPECT_TRUE(root.at("jobs").at(1).at("engine_fallback").asBool());
 }
 
 TEST(SweepReport, JsonIsParseableAndComplete)
